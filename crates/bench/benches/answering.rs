@@ -1,0 +1,34 @@
+//! F6 — NP guess-and-check query answering: the exponential preimage
+//! search vs. the chase fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vqd_bench::genq::{path_query, path_views};
+use vqd_core::answering::{answer_np, chase_preimage};
+use vqd_eval::apply_views;
+use vqd_instance::{named, Instance, Schema};
+use vqd_query::QueryExpr;
+
+fn bench_answering(c: &mut Criterion) {
+    let s = Schema::new([("E", 2)]);
+    let views = path_views(&s, 1);
+    let q = QueryExpr::Cq(path_query(&s, 2));
+    let mut group = c.benchmark_group("F6/np-search-vs-chase");
+    group.sample_size(10);
+    for edges in [1usize, 2, 3] {
+        let mut d = Instance::empty(&s);
+        for i in 0..edges {
+            d.insert_named("E", vec![named(i as u32), named(i as u32 + 1)]);
+        }
+        let extent = apply_views(views.as_view_set(), &d);
+        group.bench_with_input(BenchmarkId::new("np-search", edges), &edges, |b, _| {
+            b.iter(|| answer_np(views.as_view_set(), &q, &extent, 0, 1 << 26))
+        });
+        group.bench_with_input(BenchmarkId::new("chase", edges), &edges, |b, _| {
+            b.iter(|| chase_preimage(&views, &extent))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_answering);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! F3 — the view-inverse chase and the Theorem 3.3 tower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vqd_bench::genq::{path_query, path_views};
+use vqd_chase::{v_inverse, Tower};
+use vqd_instance::{named, Instance, NullGen, Schema};
+
+fn bench_chase(c: &mut Criterion) {
+    let s = Schema::new([("E", 2), ("P", 1)]);
+    let views = path_views(&s, 2);
+    let mut group = c.benchmark_group("F3/v-inverse");
+    for tuples in [10u32, 50, 100] {
+        let mut extent = Instance::empty(views.as_view_set().output_schema());
+        for i in 0..tuples {
+            extent.insert_named("V", vec![named(i), named(i + 1)]);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(tuples), &tuples, |b, _| {
+            b.iter(|| {
+                let mut nulls = NullGen::new();
+                v_inverse(&views, &Instance::empty(&s), &extent, &mut nulls)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("F3/tower-depth");
+    for depth in [1usize, 2, 3] {
+        let q = path_query(&s, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut t = Tower::new(&views, &q);
+                t.grow_to(&views, depth + 1);
+                t.levels()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chase);
+criterion_main!(benches);

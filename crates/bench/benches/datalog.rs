@@ -1,0 +1,34 @@
+//! F7 — Datalog fixpoints: semi-naive vs. naive (ablation) on transitive
+//! closure workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vqd_datalog::{eval_program, Program, Strategy};
+use vqd_instance::{named, DomainNames, Instance, Schema};
+
+fn bench_datalog(c: &mut Criterion) {
+    let s = Schema::new([("E", 2), ("T", 2)]);
+    let mut names = DomainNames::new();
+    let prog = Program::parse(
+        &s,
+        &mut names,
+        "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("F7/transitive-closure");
+    for n in [10u32, 30, 60] {
+        let mut chain = Instance::empty(&s);
+        for i in 0..n {
+            chain.insert_named("E", vec![named(i), named(i + 1)]);
+        }
+        group.bench_with_input(BenchmarkId::new("semi-naive", n), &n, |b, _| {
+            b.iter(|| eval_program(&prog, &chain, Strategy::SemiNaive).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| eval_program(&prog, &chain, Strategy::Naive).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datalog);
+criterion_main!(benches);

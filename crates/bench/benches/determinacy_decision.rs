@@ -1,0 +1,22 @@
+//! F2 — the Theorem 3.7 decision procedure end-to-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vqd_bench::genq::{path_query, path_views};
+use vqd_core::determinacy::unrestricted::decide_unrestricted;
+use vqd_instance::Schema;
+
+fn bench_decide(c: &mut Criterion) {
+    let s = Schema::new([("E", 2), ("P", 1)]);
+    let mut group = c.benchmark_group("F2/decide-unrestricted");
+    for k in [4usize, 6, 8, 10] {
+        let views = path_views(&s, 2);
+        let q = path_query(&s, k);
+        group.bench_with_input(BenchmarkId::new("2path-views/k-path-query", k), &k, |b, _| {
+            b.iter(|| decide_unrestricted(&views, &q).determined)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide);
+criterion_main!(benches);

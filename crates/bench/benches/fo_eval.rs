@@ -1,0 +1,58 @@
+//! F5 — active-domain FO evaluation: quantifier depth × instance size,
+//! plus one full φ_M evaluation (the Theorem 5.1 sentence).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vqd_eval::eval_fo;
+use vqd_instance::{named, DomainNames, Instance, Schema};
+use vqd_query::{parse_query, QueryExpr};
+use vqd_turing::{build_instance, phi_m, Tm};
+
+fn chain(s: &Schema, n: u32) -> Instance {
+    let mut d = Instance::empty(s);
+    for i in 0..n {
+        d.insert_named("E", vec![named(i), named(i + 1)]);
+    }
+    d
+}
+
+fn bench_fo(c: &mut Criterion) {
+    let s = Schema::new([("E", 2)]);
+    let mut names = DomainNames::new();
+    let formulas = [
+        ("depth1", "Q(x) := exists y. E(x,y)."),
+        ("depth2", "Q(x) := forall y. (E(x,y) -> exists z. E(y,z))."),
+        (
+            "depth3",
+            "Q(x) := forall y. (E(x,y) -> exists z. (E(y,z) & forall w. (E(z,w) -> E(y,w)))).",
+        ),
+    ];
+    let mut group = c.benchmark_group("F5/quantifier-depth");
+    for (label, src) in formulas {
+        let QueryExpr::Fo(q) = parse_query(&s, &mut names, src).unwrap() else {
+            unreachable!()
+        };
+        for n in [6u32, 12] {
+            let d = chain(&s, n);
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| b.iter(|| eval_fo(&q, &d)),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("F5/phi-m");
+    group.sample_size(10);
+    for tm in [Tm::instant_accept(), Tm::complement()] {
+        let phi = phi_m(&tm);
+        let inst = build_instance(&tm, 2, &[(0, 1), (1, 0)], 4).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(tm.name), |b| {
+            b.iter(|| eval_fo(&phi, &inst).truth())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fo);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! F1 — homomorphism search / CQ containment cost, with the atom-ordering
+//! ablation (most-constrained-first vs. static order).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vqd_bench::genq::path_query;
+use vqd_eval::{cq_contained, for_each_hom, Assignment, InstanceIndex, Ordering};
+use vqd_instance::{named, Instance, Schema};
+
+fn random_graph(n: u32, edges: usize, seed: u64) -> Instance {
+    let s = Schema::new([("E", 2), ("P", 1)]);
+    let mut d = Instance::empty(&s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..edges {
+        d.insert_named(
+            "E",
+            vec![named(rng.gen_range(0..n)), named(rng.gen_range(0..n))],
+        );
+    }
+    d
+}
+
+fn bench_hom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F1/hom-path-pattern");
+    let d = random_graph(30, 150, 7);
+    for k in [2usize, 4, 8] {
+        let q = path_query(d.schema(), k);
+        for (label, ord) in [("most-constrained", Ordering::MostConstrained), ("static", Ordering::Static)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let index = InstanceIndex::new(&d);
+                        let mut count = 0u64;
+                        for_each_hom(&q.atoms, &index, &Assignment::new(), ord, |_| {
+                            count += 1;
+                            count < 10_000
+                        });
+                        count
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("F1/containment");
+    for k in [3usize, 5, 7] {
+        let s = Schema::new([("E", 2), ("P", 1)]);
+        let q1 = path_query(&s, k + 1);
+        let q2 = path_query(&s, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| cq_contained(&q1, &q2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hom);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Reproduction harness: prints the experiment tables E1–E14.
+//!
+//! ```text
+//! repro                  # run everything
+//! repro e4 e10           # run selected experiments
+//! repro --list           # list experiment ids
+//! repro --out target/rr  # additionally write each table to a file
+//! ```
+
+use vqd_bench::experiments;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for i in 1..=17 {
+            println!("e{i}");
+        }
+        return;
+    }
+    // `--out DIR` additionally writes each report to DIR/<id>.txt.
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| {
+            let dir = args.get(i + 1).expect("--out needs a directory").clone();
+            args.drain(i..=i + 1);
+            dir
+        });
+    let reports = if args.is_empty() {
+        experiments::run_all()
+    } else {
+        args.iter()
+            .map(|a| {
+                experiments::run_one(&a.to_lowercase())
+                    .unwrap_or_else(|| panic!("unknown experiment `{a}` (try --list)"))
+            })
+            .collect()
+    };
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+        for r in &reports {
+            let path = format!("{dir}/{}.txt", r.id.to_lowercase());
+            std::fs::write(&path, r.to_string()).expect("write report");
+        }
+    }
+    let mut failures = 0;
+    for r in &reports {
+        println!("{r}");
+        if !r.pass {
+            failures += 1;
+        }
+    }
+    println!(
+        "{} experiment(s), {} failed",
+        reports.len(),
+        failures
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

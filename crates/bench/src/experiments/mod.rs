@@ -1,0 +1,61 @@
+//! The per-theorem experiments E1–E14 (see DESIGN.md §4).
+//!
+//! Each function regenerates one table; the `repro` binary prints them
+//! and the integration suite asserts every report passes.
+
+pub mod baselines;
+pub mod complexity;
+pub mod decision;
+pub mod expressiveness;
+pub mod lowerbounds;
+pub mod structure;
+pub mod undecidability;
+
+use crate::report::Report;
+
+/// Runs every experiment with its default parameters, in id order.
+pub fn run_all() -> Vec<Report> {
+    vec![
+        decision::e1(60, 0xE1),
+        decision::e2(20, 0xE2),
+        decision::e3(3),
+        undecidability::e4(),
+        undecidability::e5(),
+        lowerbounds::e6(),
+        lowerbounds::e7(),
+        lowerbounds::e8(),
+        complexity::e9(3),
+        expressiveness::e10(5),
+        expressiveness::e11(),
+        lowerbounds::e12(),
+        decision::e13(60, 0xE13),
+        complexity::e14(),
+        structure::e15(),
+        structure::e16(),
+        baselines::e17(50, 0xE17),
+    ]
+}
+
+/// Runs one experiment by lowercase id (`"e1"`…`"e14"`).
+pub fn run_one(id: &str) -> Option<Report> {
+    Some(match id {
+        "e1" => decision::e1(60, 0xE1),
+        "e2" => decision::e2(20, 0xE2),
+        "e3" => decision::e3(3),
+        "e4" => undecidability::e4(),
+        "e5" => undecidability::e5(),
+        "e6" => lowerbounds::e6(),
+        "e7" => lowerbounds::e7(),
+        "e8" => lowerbounds::e8(),
+        "e9" => complexity::e9(3),
+        "e10" => expressiveness::e10(5),
+        "e11" => expressiveness::e11(),
+        "e12" => lowerbounds::e12(),
+        "e13" => decision::e13(60, 0xE13),
+        "e14" => complexity::e14(),
+        "e15" => structure::e15(),
+        "e16" => structure::e16(),
+        "e17" => baselines::e17(50, 0xE17),
+        _ => return None,
+    })
+}

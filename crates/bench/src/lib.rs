@@ -1,0 +1,13 @@
+//! # vqd-bench — experiments and benchmarks
+//!
+//! * [`experiments`] — the E1–E14 reproduction tables (DESIGN.md §4),
+//!   printed by the `repro` binary and asserted by the integration suite;
+//! * [`genq`] — random query/view generators;
+//! * [`report`] — the table formatter;
+//! * `benches/` — the Criterion figures F1–F8.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod genq;
+pub mod report;

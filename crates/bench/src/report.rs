@@ -1,0 +1,124 @@
+//! Plain-text experiment reports.
+//!
+//! Every experiment produces a [`Report`]: a titled, aligned table plus a
+//! pass/fail verdict. The `repro` binary prints them; the integration
+//! test suite asserts `pass` for every experiment, so the published
+//! tables are exactly what CI checks.
+
+use std::fmt;
+
+/// One experiment's output.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id (`E1`…`E14`).
+    pub id: &'static str,
+    /// Human-readable title (paper result).
+    pub title: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+    /// Overall verdict: did every check in the experiment hold?
+    pub pass: bool,
+}
+
+impl Report {
+    /// Creates an empty passing report.
+    pub fn new(id: &'static str, title: &'static str, headers: &[&str]) -> Self {
+        Report {
+            id,
+            title,
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            pass: true,
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Records a check; failing checks flip the verdict and are noted.
+    pub fn check(&mut self, ok: bool, what: &str) {
+        if !ok {
+            self.pass = false;
+            self.notes.push(format!("CHECK FAILED: {what}"));
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "  ")?;
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  * {note}")?;
+        }
+        writeln!(f, "  verdict: {}", if self.pass { "PASS" } else { "FAIL" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_aligned() {
+        let mut r = Report::new("E0", "smoke", &["a", "long-header"]);
+        r.row(vec!["x".into(), "y".into()]);
+        r.note("a note");
+        let s = r.to_string();
+        assert!(s.contains("E0"));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("PASS"));
+    }
+
+    #[test]
+    fn failed_check_flips_verdict() {
+        let mut r = Report::new("E0", "smoke", &["a"]);
+        r.check(true, "fine");
+        assert!(r.pass);
+        r.check(false, "broken");
+        assert!(!r.pass);
+        assert!(r.to_string().contains("FAIL"));
+        assert!(r.to_string().contains("broken"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut r = Report::new("E0", "smoke", &["a", "b"]);
+        r.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,278 @@
+//! The view-inverse chase `V_D^{-1}(S')` (Section 3).
+//!
+//! Given CQ views **V**, a base instance `D` with image `S = V(D)`, and an
+//! extension `S'` of `S`, the paper defines `V_D^{-1}(S')` as the instance
+//! obtained from `D` by chasing every *new* tuple of `S'`: for a tuple `ȳ`
+//! of view `V` (with defining query `Q_V(x̄)`), add `α_ȳ([Q_V])` where
+//! `α_ȳ(x̄) = ȳ` and every other variable of `[Q_V]` goes to a globally
+//! fresh labelled null.
+//!
+//! The paper identifies "new" tuples as those containing an element outside
+//! `adom(S)`; for genuine extensions these are exactly the tuples not in
+//! `S`, and the membership form also covers zero-ary (Boolean) views and
+//! the base case `D = ∅`, so we trigger on `ȳ ∉ S(V)`.
+
+use vqd_eval::{apply_views, freeze};
+use vqd_instance::{Instance, NullGen, Value};
+use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
+
+/// A view set validated to consist of plain CQs — the hypothesis of every
+/// Section 3 construction.
+#[derive(Clone, Debug)]
+pub struct CqViews {
+    views: ViewSet,
+}
+
+impl CqViews {
+    /// Validates and wraps a view set.
+    ///
+    /// # Panics
+    /// Panics unless every view is a plain CQ (no `=`, `≠`, `¬`) with a
+    /// non-empty, safe body.
+    pub fn new(views: ViewSet) -> Self {
+        for v in views.views() {
+            let QueryExpr::Cq(cq) = &v.query else {
+                panic!("CqViews: view `{}` is not a single CQ", v.name);
+            };
+            assert_eq!(
+                cq.language(),
+                CqLang::Cq,
+                "CqViews: view `{}` uses CQ extensions",
+                v.name
+            );
+            assert!(
+                !cq.atoms.is_empty(),
+                "CqViews: view `{}` has an empty body",
+                v.name
+            );
+            assert!(cq.is_safe(), "CqViews: view `{}` is unsafe", v.name);
+        }
+        CqViews { views }
+    }
+
+    /// The underlying view set.
+    pub fn as_view_set(&self) -> &ViewSet {
+        &self.views
+    }
+
+    /// The defining CQ of output relation `i`.
+    pub fn cq(&self, i: usize) -> &Cq {
+        match &self.views.views()[i].query {
+            QueryExpr::Cq(cq) => cq,
+            _ => unreachable!("validated at construction"),
+        }
+    }
+
+    /// Number of views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether there are no views.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Applies the views: `V(D)`.
+    pub fn apply(&self, d: &Instance) -> Instance {
+        apply_views(&self.views, d)
+    }
+}
+
+/// Computes `V_D^{-1}(S')`: chases every tuple of `s_prime` not already in
+/// `V(base)` into a copy of `base`, inventing fresh nulls from `nulls` for
+/// the non-head variables of the view bodies.
+///
+/// # Panics
+/// Panics if `s_prime` is not over the views' output schema or `base` is
+/// not over their input schema.
+pub fn v_inverse(
+    views: &CqViews,
+    base: &Instance,
+    s_prime: &Instance,
+    nulls: &mut NullGen,
+) -> Instance {
+    assert_eq!(
+        s_prime.schema(),
+        views.as_view_set().output_schema(),
+        "v_inverse: S' must be over the view output schema"
+    );
+    assert_eq!(
+        base.schema(),
+        views.as_view_set().input_schema(),
+        "v_inverse: base must be over the view input schema"
+    );
+    let s = views.apply(base);
+    let mut out = base.clone();
+    for (i, _) in views.as_view_set().views().iter().enumerate() {
+        let rel = views.as_view_set().output_rel(i);
+        let view_cq = views.cq(i);
+        for tuple in s_prime.rel(rel).iter() {
+            if s.rel(rel).contains(tuple) {
+                continue;
+            }
+            chase_tuple(view_cq, tuple, &mut out, nulls);
+        }
+    }
+    out
+}
+
+/// Adds `α_ȳ([Q_V])` to `out` for one view tuple `ȳ`.
+fn chase_tuple(view_cq: &Cq, tuple: &[Value], out: &mut Instance, nulls: &mut NullGen) {
+    // Freeze the view body with fresh nulls, then rename the frozen head
+    // values to the tuple.
+    let (body, head, _) = freeze(view_cq, nulls)
+        .expect("plain CQs have no equalities, freezing cannot fail");
+    assert_eq!(head.len(), tuple.len(), "view arity mismatch");
+    let mut rename = std::collections::BTreeMap::new();
+    for (h, &t) in head.iter().zip(tuple.iter()) {
+        match h {
+            Value::Null(_) => {
+                // A frozen head variable: map it to the tuple value. If two
+                // head positions share a variable but the tuple disagrees,
+                // that tuple can never be produced by this view; the paper
+                // never chases such tuples, but be defensive.
+                if let Some(prev) = rename.insert(*h, t) {
+                    assert_eq!(
+                        prev, t,
+                        "chase_tuple: tuple conflicts with repeated head variable"
+                    );
+                }
+            }
+            Value::Named(_) => {
+                // A constant in the view head: the tuple must match it.
+                assert_eq!(
+                    *h, t,
+                    "chase_tuple: tuple conflicts with a head constant"
+                );
+            }
+        }
+    }
+    let renamed = body.map_values(&rename);
+    out.union_with(&renamed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_eval::instance_hom;
+    use vqd_instance::{named, DomainNames, Schema};
+    use vqd_query::parse_program;
+
+    fn schema() -> Schema {
+        Schema::new([("E", 2), ("P", 1)])
+    }
+
+    fn views(src: &str) -> CqViews {
+        let s = schema();
+        let mut names = DomainNames::new();
+        let prog = parse_program(&s, &mut names, src).unwrap();
+        CqViews::new(ViewSet::new(&s, prog.defs))
+    }
+
+    fn graph(edges: &[(u32, u32)], ps: &[u32]) -> Instance {
+        let mut d = Instance::empty(&schema());
+        for &(a, b) in edges {
+            d.insert_named("E", vec![named(a), named(b)]);
+        }
+        for &p in ps {
+            d.insert_named("P", vec![named(p)]);
+        }
+        d
+    }
+
+    #[test]
+    fn inverse_of_projection_invents_witnesses() {
+        // V(x) :- E(x,y): the inverse of {V(a)} must contain an edge from a
+        // to a fresh null.
+        let v = views("V(x) :- E(x,y).");
+        let d = graph(&[(0, 1)], &[]);
+        let s = v.apply(&d);
+        assert!(s.rel_named("V").contains(&[named(0)]));
+        let mut nulls = NullGen::new();
+        let inv = v_inverse(&v, &Instance::empty(&schema()), &s, &mut nulls);
+        assert_eq!(inv.rel_named("E").len(), 1);
+        let t = inv.rel_named("E").iter().next().unwrap().clone();
+        assert_eq!(t[0], named(0));
+        assert!(t[1].is_null());
+    }
+
+    #[test]
+    fn lemma_3_4_homomorphism_back_to_original() {
+        // Lemma 3.4: D' = V_∅^{-1}(V(D)) maps homomorphically into D,
+        // fixing adom(V(D)).
+        let v = views("V1(x,y) :- E(x,z), E(z,y).\nV2(x) :- P(x).");
+        let d = graph(&[(0, 1), (1, 2), (2, 0)], &[1]);
+        let s = v.apply(&d);
+        let mut nulls = NullGen::new();
+        let d_prime = v_inverse(&v, &Instance::empty(&schema()), &s, &mut nulls);
+        let fix: Vec<Value> = s.adom().into_iter().collect();
+        let h = instance_hom(&d_prime, &d, &fix).expect("Lemma 3.4 must hold");
+        for &f in &fix {
+            assert_eq!(h[&f], f);
+        }
+    }
+
+    #[test]
+    fn existing_tuples_are_not_rechased() {
+        // With base = D, S' = V(D): nothing new, inverse = D.
+        let v = views("V(x) :- E(x,y).");
+        let d = graph(&[(0, 1), (1, 2)], &[]);
+        let s = v.apply(&d);
+        let mut nulls = NullGen::new();
+        let inv = v_inverse(&v, &d, &s, &mut nulls);
+        assert_eq!(inv, d);
+    }
+
+    #[test]
+    fn extension_tuples_are_chased_into_base() {
+        let v = views("V(x) :- E(x,y).");
+        let d = graph(&[(0, 1)], &[]);
+        let mut s_ext = v.apply(&d);
+        s_ext.insert_named("V", vec![named(7)]);
+        let mut nulls = NullGen::new();
+        let inv = v_inverse(&v, &d, &s_ext, &mut nulls);
+        // Original edge retained, new edge from 7 to a null added.
+        assert!(inv.rel_named("E").contains(&[named(0), named(1)]));
+        assert_eq!(inv.rel_named("E").len(), 2);
+        assert!(inv.is_extension_of(&d));
+    }
+
+    #[test]
+    fn boolean_views_chase_their_body() {
+        let v = views("B() :- E(x,x).");
+        let mut s = Instance::empty(v.as_view_set().output_schema());
+        s.rel_mut(s.schema().rel("B")).set_truth(true);
+        let mut nulls = NullGen::new();
+        let inv = v_inverse(&v, &Instance::empty(&schema()), &s, &mut nulls);
+        // A fresh loop must have been invented.
+        assert_eq!(inv.rel_named("E").len(), 1);
+        let t = inv.rel_named("E").iter().next().unwrap().clone();
+        assert_eq!(t[0], t[1]);
+        assert!(t[0].is_null());
+    }
+
+    #[test]
+    fn view_images_of_inverse_cover_s() {
+        // V(V_∅^{-1}(S)) ⊇ S (each chased tuple witnesses itself).
+        let v = views("V1(x,y) :- E(x,z), E(z,y).\nV2(x) :- P(x), E(x,x).");
+        let d = graph(&[(0, 0), (0, 1), (1, 2)], &[0]);
+        let s = v.apply(&d);
+        let mut nulls = NullGen::new();
+        let inv = v_inverse(&v, &Instance::empty(&schema()), &s, &mut nulls);
+        let s2 = v.apply(&inv);
+        assert!(s.is_subinstance_of(&s2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a single CQ")]
+    fn non_cq_views_rejected() {
+        views("V(x) :- P(x).\nV(x) :- E(x,x).");
+    }
+
+    #[test]
+    #[should_panic(expected = "CQ extensions")]
+    fn cq_neq_views_rejected() {
+        views("V(x) :- E(x,y), x != y.");
+    }
+}

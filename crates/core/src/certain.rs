@@ -1,0 +1,196 @@
+//! Certain answers (related-work setting [1]).
+//!
+//! When **V** does *not* determine `Q`, the standard fallback is the
+//! certain answer: `cert_Q(E) = ∩ { Q(D) | V(D) = E }`. The paper notes
+//! that any language complete for rewriting certain answers is also
+//! complete in its (exact-view, equivalent-rewriting) sense, so the lower
+//! bounds transfer. We implement both classical flavours:
+//!
+//! * **sound views** (`V(D) ⊇ E`): for CQ views and queries, the certain
+//!   answers are the null-free tuples of `Q` evaluated on the chased
+//!   extent `V_∅^{-1}(E)` — polynomial time;
+//! * **exact views** (`V(D) = E`): intersection over all bounded
+//!   preimages (coNP-flavoured by nature; exponential search by design).
+//!
+//! When `V ↠ Q` and `E = V(D)`, both notions collapse to `Q(D)` — the
+//! E14 experiment checks that collapse.
+
+use crate::answering::for_each_preimage;
+use vqd_chase::{v_inverse, CqViews};
+use vqd_eval::{eval_cq, eval_query};
+use vqd_instance::{Instance, NullGen, Relation};
+use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
+
+/// Certain answers under the *sound view* assumption, for CQ views and a
+/// CQ query: evaluate `Q` on the canonical database `V_∅^{-1}(E)` and
+/// keep the null-free tuples.
+///
+/// # Panics
+/// Panics unless `q` is a plain CQ (the chase argument needs
+/// monotonicity and freeness from built-ins).
+pub fn certain_sound(views: &CqViews, q: &Cq, extent: &Instance) -> Relation {
+    assert_eq!(
+        q.language(),
+        CqLang::Cq,
+        "certain_sound requires a plain CQ query"
+    );
+    let mut nulls = NullGen::new();
+    let empty = Instance::empty(views.as_view_set().input_schema());
+    let chased = v_inverse(views, &empty, extent, &mut nulls);
+    let mut out = Relation::new(q.arity());
+    for t in eval_cq(q, &chased).iter() {
+        if t.iter().all(|v| v.is_named()) {
+            out.insert(t.clone());
+        }
+    }
+    out
+}
+
+/// Result of the exact-view certain-answer computation.
+#[derive(Clone, Debug)]
+pub struct ExactCertain {
+    /// `∩ { Q(D) | V(D) = E }` over the searched space.
+    pub certain: Relation,
+    /// `∪ { Q(D) | V(D) = E }` (the *possible* answers) over the space.
+    pub possible: Relation,
+    /// Number of preimages inspected.
+    pub preimages: usize,
+}
+
+/// Certain (and possible) answers under the *exact view* assumption,
+/// intersecting `Q` over every preimage in the bounded search space
+/// (values of `adom(E)` plus `extra_fresh` padding constants).
+///
+/// Returns `None` when no preimage exists in the space.
+pub fn certain_exact_bounded(
+    views: &ViewSet,
+    q: &QueryExpr,
+    extent: &Instance,
+    extra_fresh: usize,
+    limit: u128,
+) -> Option<ExactCertain> {
+    let mut acc: Option<(Relation, Relation)> = None;
+    let mut count = 0usize;
+    for_each_preimage::<()>(views, extent, extra_fresh, limit, |d| {
+        let out = eval_query(q, d);
+        count += 1;
+        acc = Some(match acc.take() {
+            None => (out.clone(), out),
+            Some((cert, mut poss)) => {
+                poss.union_with(&out);
+                (cert.intersection(&out), poss)
+            }
+        });
+        None
+    });
+    acc.map(|(certain, possible)| ExactCertain { certain, possible, preimages: count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_eval::apply_views;
+    use vqd_instance::{named, DomainNames, Schema};
+    use vqd_query::{parse_program, parse_query, ViewSet};
+
+    fn schema() -> Schema {
+        Schema::new([("E", 2)])
+    }
+
+    fn setup(view_src: &str) -> (ViewSet, CqViews) {
+        let s = schema();
+        let mut names = DomainNames::new();
+        let prog = parse_program(&s, &mut names, view_src).unwrap();
+        let vs = ViewSet::new(&s, prog.defs);
+        (vs.clone(), CqViews::new(vs))
+    }
+
+    fn cq(src: &str) -> Cq {
+        let mut names = DomainNames::new();
+        parse_query(&schema(), &mut names, src)
+            .unwrap()
+            .as_cq()
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn sound_certain_answers_on_projection_views() {
+        // Views expose only sources; the certain answers of the edge
+        // query are empty (every edge target is a null in the chase).
+        let (_, v) = setup("V(x) :- E(x,y).");
+        let q = cq("Q(x,y) :- E(x,y).");
+        let mut extent = Instance::empty(v.as_view_set().output_schema());
+        extent.insert_named("V", vec![named(0)]);
+        let cert = certain_sound(&v, &q, &extent);
+        assert!(cert.is_empty());
+        // But the Boolean "has an edge" query is certain.
+        let b = cq("Q() :- E(x,y).");
+        assert!(certain_sound(&v, &b, &extent).truth());
+    }
+
+    #[test]
+    fn sound_certain_answers_identity_views() {
+        let (_, v) = setup("V(x,y) :- E(x,y).");
+        let q = cq("Q(x,z) :- E(x,y), E(y,z).");
+        let mut extent = Instance::empty(v.as_view_set().output_schema());
+        extent.insert_named("V", vec![named(0), named(1)]);
+        extent.insert_named("V", vec![named(1), named(2)]);
+        let cert = certain_sound(&v, &q, &extent);
+        assert!(cert.contains(&[named(0), named(2)]));
+        assert_eq!(cert.len(), 1);
+    }
+
+    #[test]
+    fn exact_certain_vs_possible_gap() {
+        // Projection views: the 2-path query has possible answers but no
+        // certain ones on a 2-source extent.
+        let (vs, _) = setup("V1(x) :- E(x,y).\nV2(y) :- E(x,y).");
+        let q = parse_query(
+            &schema(),
+            &mut DomainNames::new(),
+            "Q(x,y) :- E(x,y).",
+        )
+        .unwrap();
+        let mut extent = Instance::empty(vs.output_schema());
+        extent.insert_named("V1", vec![named(0)]);
+        extent.insert_named("V1", vec![named(1)]);
+        extent.insert_named("V2", vec![named(0)]);
+        extent.insert_named("V2", vec![named(1)]);
+        let out = certain_exact_bounded(&vs, &q, &extent, 0, 1 << 20).expect("preimages");
+        assert!(out.preimages > 1);
+        assert!(out.certain.len() < out.possible.len());
+    }
+
+    #[test]
+    fn certain_collapses_to_query_answer_under_determinacy() {
+        let (vs, _) = setup("V(x,y) :- E(x,y).");
+        let q = parse_query(
+            &schema(),
+            &mut DomainNames::new(),
+            "Q(x,z) :- E(x,y), E(y,z).",
+        )
+        .unwrap();
+        let mut d = Instance::empty(&schema());
+        d.insert_named("E", vec![named(0), named(1)]);
+        d.insert_named("E", vec![named(1), named(2)]);
+        let extent = apply_views(&vs, &d);
+        let out = certain_exact_bounded(&vs, &q, &extent, 0, 1 << 22).expect("preimages");
+        assert_eq!(out.certain, vqd_eval::eval_query(&q, &d));
+        assert_eq!(out.certain, out.possible);
+    }
+
+    #[test]
+    fn sound_ucq_views_also_chase() {
+        let s = schema();
+        let mut names = DomainNames::new();
+        let prog = parse_program(&s, &mut names, "V(x,y) :- E(x,z), E(z,y).").unwrap();
+        let v = CqViews::new(ViewSet::new(&s, prog.defs));
+        let q = cq("Q(x,y) :- E(x,z), E(z,y).");
+        let mut extent = Instance::empty(v.as_view_set().output_schema());
+        extent.insert_named("V", vec![named(0), named(1)]);
+        // The chase invents the middle node; the 2-path (0,1) is certain.
+        let cert = certain_sound(&v, &q, &extent);
+        assert!(cert.contains(&[named(0), named(1)]));
+    }
+}

@@ -1,0 +1,10 @@
+//! Determinacy checking: the semantic definition, brute-forced on bounded
+//! domains, and the effective chase-based decision procedure for CQs.
+
+pub mod parallel;
+pub mod semantic;
+pub mod unrestricted;
+
+pub use parallel::check_exhaustive_parallel;
+pub use semantic::{check_exhaustive, check_random, verify_counterexample, Counterexample, SemanticVerdict};
+pub use unrestricted::{decide_finite, decide_unrestricted, FiniteVerdict, UnrestrictedOutcome};

@@ -1,0 +1,254 @@
+//! The unrestricted determinacy decision procedure (Theorems 3.3 / 3.7).
+//!
+//! For CQ views **V** and a CQ query `Q`, `V ↠ Q` over unrestricted
+//! (finite or infinite) instances **iff** `x̄ ∈ Q(V_∅^{-1}(V([Q])))` —
+//! a homomorphism test on a chased canonical instance. When the test
+//! succeeds, the canonical rewriting `Q_V` (Proposition 3.5) is an exact
+//! CQ rewriting: `Q = Q_V ∘ V`.
+//!
+//! For the *finite* variant, the procedure gives:
+//!
+//! * a **sound positive** answer — unrestricted determinacy implies
+//!   finite determinacy (fewer instances to distinguish);
+//! * otherwise, a bounded search for a finite counterexample;
+//! * failing both, `Open`: whether unrestricted and finite determinacy
+//!   coincide for CQs is exactly the paper's open question
+//!   (Theorem 5.11).
+
+use crate::determinacy::semantic::{check_exhaustive, Counterexample, SemanticVerdict};
+use vqd_chase::{canonical, proposition_3_5_test, Canonical, CqViews};
+use vqd_eval::minimize_cq;
+use vqd_instance::Instance;
+use vqd_query::{Cq, QueryExpr};
+
+/// Result of the unrestricted decision procedure.
+#[derive(Clone, Debug)]
+pub struct UnrestrictedOutcome {
+    /// Whether `V ↠ Q` holds over unrestricted instances.
+    pub determined: bool,
+    /// The canonical data (`[Q]`, `S = V([Q])`, candidate `Q_V`).
+    pub canonical: Canonical,
+    /// `V_∅^{-1}(S)` — the chased instance the test evaluates `Q` on.
+    pub chased: Instance,
+    /// The minimized exact rewriting, when determined.
+    pub rewriting: Option<Cq>,
+}
+
+impl UnrestrictedOutcome {
+    /// A human-readable trace of the Theorem 3.7 decision: the frozen
+    /// query `[Q]`, its view image `S`, the chased instance
+    /// `V_∅^{-1}(S)`, the membership verdict, and the rewriting (if any).
+    pub fn explain(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "frozen query [Q] (head = {:?}):", self.canonical.frozen_head);
+        let _ = writeln!(out, "{}", self.canonical.frozen_query);
+        let _ = writeln!(out, "\nview image S = V([Q]):");
+        let _ = writeln!(out, "{}", self.canonical.s);
+        let _ = writeln!(out, "\nchased instance V_inv(S):");
+        let _ = writeln!(out, "{}", self.chased);
+        let _ = writeln!(
+            out,
+            "\nhead in Q(V_inv(S)): {}  =>  V {} Q (unrestricted)",
+            self.determined,
+            if self.determined { "determines" } else { "does NOT determine" }
+        );
+        match &self.rewriting {
+            Some(r) => {
+                let _ = writeln!(out, "exact rewriting: {}", r.render("R"));
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "no exact rewriting exists in ANY language (Theorem 3.3, unrestricted)"
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Decides unrestricted determinacy for CQ views and a CQ query
+/// (Theorem 3.7), producing the canonical rewriting when it holds.
+///
+/// ```
+/// use vqd_chase::CqViews;
+/// use vqd_core::determinacy::unrestricted::decide_unrestricted;
+/// use vqd_instance::{DomainNames, Schema};
+/// use vqd_query::{parse_program, parse_query, ViewSet};
+///
+/// let schema = Schema::new([("E", 2)]);
+/// let mut names = DomainNames::new();
+/// let prog = parse_program(&schema, &mut names, "V(x,y) :- E(x,y).").unwrap();
+/// let views = CqViews::new(ViewSet::new(&schema, prog.defs));
+/// let q = parse_query(&schema, &mut names, "Q(x,z) :- E(x,y), E(y,z).")
+///     .unwrap().as_cq().unwrap().clone();
+///
+/// let outcome = decide_unrestricted(&views, &q);
+/// assert!(outcome.determined);
+/// let rewriting = outcome.rewriting.unwrap();
+/// assert_eq!(rewriting.render("R"), "R(n0,n2) :- V(n0,n1), V(n1,n2).");
+/// ```
+pub fn decide_unrestricted(views: &CqViews, q: &Cq) -> UnrestrictedOutcome {
+    let can = canonical(views, q);
+    let (determined, chased) = proposition_3_5_test(views, &can, q);
+    let rewriting = determined.then(|| minimize_cq(&can.q_v));
+    UnrestrictedOutcome { determined, canonical: can, chased, rewriting }
+}
+
+/// Verdict for the finite variant.
+#[derive(Clone, Debug)]
+pub enum FiniteVerdict {
+    /// Finitely determined (via unrestricted determinacy), with the exact
+    /// CQ rewriting.
+    Determined(Box<Cq>),
+    /// Not finitely determined, with a concrete finite witness.
+    NotDetermined(Box<Counterexample>),
+    /// Unrestricted determinacy fails and no finite counterexample was
+    /// found within the search bound — the open regime of Theorem 5.11:
+    /// if finite and unrestricted determinacy coincide for CQs (open!),
+    /// this case is actually `NotDetermined`.
+    Open {
+        /// Largest domain size exhaustively searched.
+        searched_up_to: usize,
+    },
+}
+
+/// Decides finite determinacy for CQ views and queries as far as theory
+/// allows: sound positive via the chase, definitive negative via bounded
+/// exhaustive search, `Open` otherwise.
+pub fn decide_finite(
+    views: &CqViews,
+    q: &Cq,
+    max_domain: usize,
+    space_limit: u128,
+) -> FiniteVerdict {
+    let unrestricted = decide_unrestricted(views, q);
+    if unrestricted.determined {
+        return FiniteVerdict::Determined(Box::new(
+            unrestricted.rewriting.expect("determined implies rewriting"),
+        ));
+    }
+    let qe = QueryExpr::Cq(q.clone());
+    let mut searched = 0;
+    for n in 1..=max_domain {
+        match check_exhaustive(views.as_view_set(), &qe, n, space_limit) {
+            SemanticVerdict::NotDetermined(c) => return FiniteVerdict::NotDetermined(c),
+            SemanticVerdict::NoCounterexampleUpTo(k) => searched = k,
+            SemanticVerdict::TooLarge { .. } => break,
+        }
+    }
+    FiniteVerdict::Open { searched_up_to: searched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_eval::{apply_views, cq_equivalent, eval_cq};
+    use vqd_instance::gen::random_instance;
+    use vqd_instance::{DomainNames, Schema};
+    use vqd_query::{parse_program, parse_query, ViewSet};
+
+    fn schema() -> Schema {
+        Schema::new([("E", 2), ("P", 1)])
+    }
+
+    fn setup(view_src: &str, q_src: &str) -> (CqViews, Cq) {
+        let s = schema();
+        let mut names = DomainNames::new();
+        let prog = parse_program(&s, &mut names, view_src).unwrap();
+        let views = CqViews::new(ViewSet::new(&s, prog.defs));
+        let q = parse_query(&s, &mut names, q_src)
+            .unwrap()
+            .as_cq()
+            .unwrap()
+            .clone();
+        (views, q)
+    }
+
+    #[test]
+    fn determined_pair_yields_verified_rewriting() {
+        let (v, q) = setup(
+            "V(x,y) :- E(x,y).\nW(x) :- P(x).",
+            "Q(x,z) :- E(x,y), E(y,z), P(x).",
+        );
+        let out = decide_unrestricted(&v, &q);
+        assert!(out.determined);
+        let r = out.rewriting.expect("rewriting");
+        // Verify Q(D) = R(V(D)) on random instances.
+        let mut rng = rand::rngs::mock::StepRng::new(42, 77);
+        for _ in 0..10 {
+            let d = random_instance(&schema(), 4, 0.3, &mut rng);
+            let image = apply_views(v.as_view_set(), &d);
+            assert_eq!(eval_cq(&q, &d), eval_cq(&r, &image));
+        }
+    }
+
+    #[test]
+    fn undetermined_pair_is_refuted_or_open() {
+        let (v, q) = setup(
+            "V(x,y) :- E(x,z), E(z,y).",
+            "Q(x,y) :- E(x,a), E(a,b), E(b,y).",
+        );
+        let out = decide_unrestricted(&v, &q);
+        assert!(!out.determined);
+        assert!(out.rewriting.is_none());
+        match decide_finite(&v, &q, 3, 1 << 22) {
+            FiniteVerdict::NotDetermined(_) => {}
+            other => panic!("expected finite refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_narrates_both_outcomes() {
+        let (v, q) = setup("V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
+        let yes = decide_unrestricted(&v, &q).explain();
+        assert!(yes.contains("exact rewriting"));
+        assert!(yes.contains("V determines Q"));
+        let (v2, q2) = setup(
+            "V(x,y) :- E(x,z), E(z,y).",
+            "Q(x,y) :- E(x,a), E(a,b), E(b,y).",
+        );
+        let no = decide_unrestricted(&v2, &q2).explain();
+        assert!(no.contains("does NOT determine"));
+        assert!(no.contains("no exact rewriting"));
+    }
+
+    #[test]
+    fn rewriting_is_minimized() {
+        // Redundant views: the canonical rewriting has many atoms; the
+        // minimized one should be small.
+        let (v, q) = setup("V(x,y) :- E(x,y).", "Q(x,y) :- E(x,y).");
+        let out = decide_unrestricted(&v, &q);
+        let r = out.rewriting.unwrap();
+        assert_eq!(r.atoms.len(), 1);
+        assert!(cq_equivalent(&r, &out.canonical.q_v));
+    }
+
+    #[test]
+    fn finite_determined_via_unrestricted() {
+        let (v, q) = setup("V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
+        match decide_finite(&v, &q, 2, 1 << 20) {
+            FiniteVerdict::Determined(r) => {
+                assert_eq!(r.schema.len(), 1); // over σ_V
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_view_boolean_query() {
+        let (v, q) = setup("B() :- E(x,y).", "Q() :- E(x,y), E(y,z).");
+        // ∃edge does not determine ∃2-path… or does it? An instance with
+        // one edge has no 2-path; with a loop it does — same view image
+        // {B=true}. Not determined.
+        let out = decide_unrestricted(&v, &q);
+        assert!(!out.determined);
+        match decide_finite(&v, &q, 3, 1 << 22) {
+            FiniteVerdict::NotDetermined(c) => {
+                assert_ne!(c.q1, c.q2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Naive and semi-naive bottom-up evaluation.
+//!
+//! Both evaluators saturate the strata in order. The semi-naive engine
+//! implements the classical delta optimization — each round only fires
+//! rule instantiations that touch at least one fact derived in the
+//! previous round — and is benchmarked against the naive engine in the F7
+//! ablation.
+
+use crate::rule::{Literal, Program, Rule};
+use crate::stratify::{stratify, NotStratifiable, Stratification};
+use vqd_eval::{for_each_hom, Assignment, InstanceIndex, Ordering};
+use vqd_instance::{Instance, Value};
+use vqd_query::{Atom, Term};
+
+/// Matches one atom against a concrete tuple, producing the induced
+/// assignment (or `None` on constant/repeat clash).
+fn match_atom(atom: &Atom, tuple: &[Value]) -> Option<Assignment> {
+    let mut asg = Assignment::new();
+    for (term, &val) in atom.args.iter().zip(tuple.iter()) {
+        match term {
+            Term::Const(c) => {
+                if *c != val {
+                    return None;
+                }
+            }
+            Term::Var(v) => match asg.get(v) {
+                Some(&prev) if prev != val => return None,
+                _ => {
+                    asg.insert(*v, val);
+                }
+            },
+        }
+    }
+    Some(asg)
+}
+
+fn resolve(t: Term, asg: &Assignment) -> Value {
+    match t {
+        Term::Const(c) => c,
+        Term::Var(v) => *asg.get(&v).expect("safe rule: variable bound"),
+    }
+}
+
+/// Fires `rule` over `db` with positive atom `skip`'s match pre-bound by
+/// `fixed`; passes every derived head fact to `emit`.
+fn fire_rule(
+    rule: &Rule,
+    db: &Instance,
+    index: &InstanceIndex<'_>,
+    fixed: &Assignment,
+    skip: Option<usize>,
+    emit: &mut impl FnMut(Vec<Value>),
+) {
+    let pos: Vec<Atom> = rule
+        .positive_atoms()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != skip)
+        .map(|(_, a)| a.clone())
+        .collect();
+    for_each_hom(&pos, index, fixed, Ordering::MostConstrained, |asg| {
+        for lit in &rule.body {
+            match lit {
+                Literal::Pos(_) => {}
+                Literal::Neg(a) => {
+                    let t: Vec<Value> = a.args.iter().map(|&x| resolve(x, asg)).collect();
+                    if db.rel(a.rel).contains(&t) {
+                        return true;
+                    }
+                }
+                Literal::Neq(a, b) => {
+                    if resolve(*a, asg) == resolve(*b, asg) {
+                        return true;
+                    }
+                }
+            }
+        }
+        emit(rule.head.args.iter().map(|&x| resolve(x, asg)).collect());
+        true
+    });
+}
+
+/// Saturates one stratum naively: fire all rules until no new facts.
+fn saturate_naive(rules: &[&Rule], db: &mut Instance) {
+    loop {
+        let mut new_facts: Vec<(vqd_instance::RelId, Vec<Value>)> = Vec::new();
+        {
+            let index = InstanceIndex::new(db);
+            for rule in rules {
+                fire_rule(rule, db, &index, &Assignment::new(), None, &mut |fact| {
+                    if !db.rel(rule.head.rel).contains(&fact) {
+                        new_facts.push((rule.head.rel, fact));
+                    }
+                });
+            }
+        }
+        let mut changed = false;
+        for (rel, fact) in new_facts {
+            changed |= db.insert(rel, fact);
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Saturates one stratum semi-naively.
+fn saturate_semi_naive(rules: &[&Rule], db: &mut Instance) {
+    // Round 0: a full naive pass collecting the initial delta.
+    let mut delta = Instance::empty(db.schema());
+    {
+        let index = InstanceIndex::new(db);
+        for rule in rules {
+            let mut emit = |fact: Vec<Value>| {
+                if !db.rel(rule.head.rel).contains(&fact) {
+                    delta.insert(rule.head.rel, fact);
+                }
+            };
+            fire_rule(rule, db, &index, &Assignment::new(), None, &mut emit);
+        }
+    }
+    while !delta.is_empty() {
+        db.union_with(&delta);
+        let mut next_delta = Instance::empty(db.schema());
+        let index = InstanceIndex::new(db);
+        for rule in rules {
+            let positives: Vec<Atom> = rule.positive_atoms().cloned().collect();
+            for (i, atom) in positives.iter().enumerate() {
+                // Each firing must use a delta fact at position i; facts
+                // older than the delta are handled by other positions or
+                // earlier rounds.
+                for t in delta.rel(atom.rel).iter() {
+                    let Some(fixed) = match_atom(atom, t) else {
+                        continue;
+                    };
+                    let mut emit = |fact: Vec<Value>| {
+                        if !db.rel(rule.head.rel).contains(&fact) {
+                            next_delta.insert(rule.head.rel, fact);
+                        }
+                    };
+                    fire_rule(rule, db, &index, &fixed, Some(i), &mut emit);
+                }
+            }
+        }
+        delta = next_delta;
+    }
+}
+
+/// Evaluation strategy selector (F7 ablation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Semi-naive (delta-driven) evaluation.
+    #[default]
+    SemiNaive,
+    /// Naive re-derivation every round.
+    Naive,
+}
+
+/// Evaluates `p` on `edb`, returning the saturated instance (EDB facts
+/// plus all derived IDB facts).
+///
+/// ```
+/// use vqd_datalog::{eval_program, Program, Strategy};
+/// use vqd_instance::{named, DomainNames, Instance, Schema};
+///
+/// let schema = Schema::new([("E", 2), ("T", 2)]);
+/// let mut names = DomainNames::new();
+/// let prog = Program::parse(&schema, &mut names,
+///     "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).").unwrap();
+/// let mut d = Instance::empty(&schema);
+/// d.insert_named("E", vec![named(0), named(1)]);
+/// d.insert_named("E", vec![named(1), named(2)]);
+/// let out = eval_program(&prog, &d, Strategy::SemiNaive).unwrap();
+/// assert!(out.rel_named("T").contains(&[named(0), named(2)]));
+/// ```
+///
+/// # Errors
+/// Returns [`NotStratifiable`] for programs with recursion through
+/// negation.
+pub fn eval_program(
+    p: &Program,
+    edb: &Instance,
+    strategy: Strategy,
+) -> Result<Instance, NotStratifiable> {
+    assert_eq!(edb.schema(), &p.schema, "eval_program: instance schema mismatch");
+    let Stratification { rule_layers, .. } = stratify(p)?;
+    let mut db = edb.clone();
+    for layer in &rule_layers {
+        let rules: Vec<&Rule> = layer.iter().map(|&i| &p.rules[i]).collect();
+        if rules.is_empty() {
+            continue;
+        }
+        match strategy {
+            Strategy::Naive => saturate_naive(&rules, &mut db),
+            Strategy::SemiNaive => saturate_semi_naive(&rules, &mut db),
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_instance::{named, DomainNames, Schema};
+
+    fn tc_program() -> (Program, Schema) {
+        let s = Schema::new([("E", 2), ("T", 2)]);
+        let mut names = DomainNames::new();
+        let p = Program::parse(
+            &s,
+            &mut names,
+            "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+        )
+        .unwrap();
+        (p, s)
+    }
+
+    fn chain(s: &Schema, n: u32) -> Instance {
+        let mut d = Instance::empty(s);
+        for i in 0..n {
+            d.insert_named("E", vec![named(i), named(i + 1)]);
+        }
+        d
+    }
+
+    #[test]
+    fn transitive_closure_of_chain() {
+        let (p, s) = tc_program();
+        let d = chain(&s, 4);
+        let out = eval_program(&p, &d, Strategy::SemiNaive).unwrap();
+        // T = all pairs (i,j) with i<j over 0..=4: C(5,2) = 10.
+        assert_eq!(out.rel_named("T").len(), 10);
+        assert!(out.rel_named("T").contains(&[named(0), named(4)]));
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree() {
+        let (p, s) = tc_program();
+        for n in [0, 1, 3, 6] {
+            let d = chain(&s, n);
+            let a = eval_program(&p, &d, Strategy::Naive).unwrap();
+            let b = eval_program(&p, &d, Strategy::SemiNaive).unwrap();
+            assert_eq!(a, b, "strategies disagree on chain of length {n}");
+        }
+    }
+
+    #[test]
+    fn cycle_closure_is_complete_graph() {
+        let (p, s) = tc_program();
+        let mut d = chain(&s, 2);
+        d.insert_named("E", vec![named(2), named(0)]);
+        let out = eval_program(&p, &d, Strategy::SemiNaive).unwrap();
+        assert_eq!(out.rel_named("T").len(), 9);
+    }
+
+    #[test]
+    fn stratified_negation_complement() {
+        let s = Schema::new([("E", 2), ("T", 2), ("NT", 2), ("Node", 1)]);
+        let mut names = DomainNames::new();
+        let p = Program::parse(
+            &s,
+            &mut names,
+            "T(x,y) :- E(x,y).\n\
+             T(x,z) :- T(x,y), E(y,z).\n\
+             NT(x,y) :- Node(x), Node(y), !T(x,y).",
+        )
+        .unwrap();
+        let mut d = Instance::empty(&s);
+        d.insert_named("E", vec![named(0), named(1)]);
+        d.insert_named("Node", vec![named(0)]);
+        d.insert_named("Node", vec![named(1)]);
+        let out = eval_program(&p, &d, Strategy::SemiNaive).unwrap();
+        // T = {(0,1)}; NT = all 4 pairs minus T.
+        assert_eq!(out.rel_named("NT").len(), 3);
+        assert!(!out.rel_named("NT").contains(&[named(0), named(1)]));
+    }
+
+    #[test]
+    fn inequality_in_recursion() {
+        // Paths avoiding self-pairs.
+        let s = Schema::new([("E", 2), ("T", 2)]);
+        let mut names = DomainNames::new();
+        let p = Program::parse(
+            &s,
+            &mut names,
+            "T(x,y) :- E(x,y), x != y.\nT(x,z) :- T(x,y), E(y,z), x != z.",
+        )
+        .unwrap();
+        let mut d = Instance::empty(&s);
+        d.insert_named("E", vec![named(0), named(0)]);
+        d.insert_named("E", vec![named(0), named(1)]);
+        d.insert_named("E", vec![named(1), named(0)]);
+        let out = eval_program(&p, &d, Strategy::SemiNaive).unwrap();
+        assert!(!out.rel_named("T").contains(&[named(0), named(0)]));
+        assert!(out.rel_named("T").contains(&[named(0), named(1)]));
+        assert!(out.rel_named("T").contains(&[named(1), named(0)]));
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let s = Schema::new([("E", 2), ("T", 2)]);
+        let mut names = DomainNames::new();
+        // Reachability from the constant A only.
+        let mut d = Instance::empty(&s);
+        let a = names.intern("A");
+        let p = Program::parse(
+            &s,
+            &mut names,
+            "T(A, y) :- E(A, y).\nT(A, z) :- T(A, y), E(y, z).",
+        )
+        .unwrap();
+        d.insert_named("E", vec![a, named(100)]);
+        d.insert_named("E", vec![named(100), named(101)]);
+        d.insert_named("E", vec![named(200), named(201)]);
+        let out = eval_program(&p, &d, Strategy::SemiNaive).unwrap();
+        assert_eq!(out.rel_named("T").len(), 2);
+        assert!(out.rel_named("T").contains(&[a, named(101)]));
+    }
+
+    #[test]
+    fn empty_edb_fixpoint_is_empty() {
+        let (p, s) = tc_program();
+        let out = eval_program(&p, &Instance::empty(&s), Strategy::SemiNaive).unwrap();
+        assert!(out.rel_named("T").is_empty());
+    }
+
+    #[test]
+    fn negation_free_programs_are_monotone_in_practice() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (p, s) = tc_program();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let (d1, d2) = vqd_instance::gen::random_subinstance_pair(&s, 4, 0.3, &mut rng);
+            let o1 = eval_program(&p, &d1, Strategy::SemiNaive).unwrap();
+            let o2 = eval_program(&p, &d2, Strategy::SemiNaive).unwrap();
+            assert!(o1.is_subinstance_of(&o2), "TC must be monotone");
+        }
+    }
+}

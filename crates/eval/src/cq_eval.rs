@@ -1,0 +1,301 @@
+//! Evaluation of conjunctive queries and unions thereof.
+//!
+//! `c̄ ∈ Q(D)` iff some homomorphism from the body into `D` maps the head
+//! template to `c̄`, additionally satisfying the `=`/`≠` constraints and
+//! the safely negated atoms. Equalities are compiled away up front by
+//! unification, so the homomorphism engine only ever sees positive atoms.
+
+use crate::hom::{for_each_hom, Assignment, InstanceIndex, Ordering};
+use std::collections::BTreeMap;
+use vqd_instance::{Instance, Relation, Value};
+use vqd_query::{Cq, Term, Ucq, VarId};
+
+/// The result of compiling equality constraints: a substitution making all
+/// equalities trivially true, or a proof that they cannot be satisfied.
+#[derive(Debug)]
+enum Unification {
+    Subst(BTreeMap<VarId, Term>),
+    Unsatisfiable,
+}
+
+/// Unifies the equality constraints of `q` into a substitution.
+fn unify_eqs(q: &Cq) -> Unification {
+    let mut subst: BTreeMap<VarId, Term> = BTreeMap::new();
+    fn resolve(t: Term, subst: &BTreeMap<VarId, Term>) -> Term {
+        let mut cur = t;
+        while let Term::Var(v) = cur {
+            match subst.get(&v) {
+                Some(&next) => cur = next,
+                None => break,
+            }
+        }
+        cur
+    }
+    for &(a, b) in &q.eqs {
+        let ra = resolve(a, &subst);
+        let rb = resolve(b, &subst);
+        match (ra, rb) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return Unification::Unsatisfiable;
+                }
+            }
+            (Term::Var(v), t) | (t, Term::Var(v)) => {
+                if t != Term::Var(v) {
+                    subst.insert(v, t);
+                }
+            }
+        }
+    }
+    Unification::Subst(subst)
+}
+
+/// Applies the unifier, returning an equality-free equivalent of `q` (or
+/// `None` if the equalities are unsatisfiable — the empty query).
+pub fn normalize_eqs(q: &Cq) -> Option<Cq> {
+    if q.eqs.is_empty() {
+        return Some(q.clone());
+    }
+    match unify_eqs(q) {
+        Unification::Unsatisfiable => None,
+        Unification::Subst(subst) => {
+            let f = |v: VarId| {
+                let mut cur = Term::Var(v);
+                while let Term::Var(w) = cur {
+                    match subst.get(&w) {
+                        Some(&next) => cur = next,
+                        None => break,
+                    }
+                }
+                cur
+            };
+            let mut out = q.subst(&f);
+            out.eqs.clear();
+            Some(out)
+        }
+    }
+}
+
+/// Evaluates a conjunctive query (with any of its extensions) on `D`.
+///
+/// ```
+/// use vqd_eval::eval_cq;
+/// use vqd_instance::{named, DomainNames, Instance, Schema};
+/// use vqd_query::parse_query;
+///
+/// let schema = Schema::new([("E", 2)]);
+/// let mut names = DomainNames::new();
+/// let q = parse_query(&schema, &mut names, "Q(x,z) :- E(x,y), E(y,z).")
+///     .unwrap().as_cq().unwrap().clone();
+/// let mut d = Instance::empty(&schema);
+/// d.insert_named("E", vec![named(0), named(1)]);
+/// d.insert_named("E", vec![named(1), named(2)]);
+/// let out = eval_cq(&q, &d);
+/// assert!(out.contains(&[named(0), named(2)]));
+/// assert_eq!(out.len(), 1);
+/// ```
+///
+/// # Panics
+/// Panics if the (equality-normalized) query is unsafe: every variable in
+/// the head, in a negated atom, or in an inequality must occur in a
+/// positive atom.
+pub fn eval_cq(q: &Cq, d: &Instance) -> Relation {
+    let mut out = Relation::new(q.arity());
+    let Some(q) = normalize_eqs(q) else {
+        return out;
+    };
+    assert!(
+        q.is_safe(),
+        "eval_cq: unsafe query (every variable must occur in a positive atom): {q}"
+    );
+    let index = InstanceIndex::new(d);
+    let resolve = |t: Term, asg: &Assignment| -> Value {
+        match t {
+            Term::Const(c) => c,
+            Term::Var(v) => *asg.get(&v).expect("safe query: head/constraint var bound"),
+        }
+    };
+    for_each_hom(
+        &q.atoms,
+        &index,
+        &Assignment::new(),
+        Ordering::MostConstrained,
+        |asg| {
+            // ≠ constraints.
+            for &(a, b) in &q.neqs {
+                if resolve(a, asg) == resolve(b, asg) {
+                    return true; // reject this match, keep searching
+                }
+            }
+            // Safely negated atoms: fully ground under asg; require absence.
+            for na in &q.neg_atoms {
+                let tuple: Vec<Value> = na.args.iter().map(|&t| resolve(t, asg)).collect();
+                if d.rel(na.rel).contains(&tuple) {
+                    return true;
+                }
+            }
+            let head: Vec<Value> = q.head.iter().map(|&t| resolve(t, asg)).collect();
+            out.insert(head);
+            true
+        },
+    );
+    out
+}
+
+/// Evaluates a union of conjunctive queries on `D`.
+pub fn eval_ucq(u: &Ucq, d: &Instance) -> Relation {
+    let mut out = Relation::new(u.arity());
+    for disjunct in &u.disjuncts {
+        out.union_with(&eval_cq(disjunct, d));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_instance::{named, Schema};
+    use vqd_query::parse_query;
+    use vqd_instance::DomainNames;
+
+    fn schema() -> Schema {
+        Schema::new([("E", 2), ("P", 1)])
+    }
+
+    fn instance(edges: &[(u32, u32)], ps: &[u32]) -> Instance {
+        let s = schema();
+        let mut d = Instance::empty(&s);
+        for &(a, b) in edges {
+            d.insert_named("E", vec![named(a), named(b)]);
+        }
+        for &p in ps {
+            d.insert_named("P", vec![named(p)]);
+        }
+        d
+    }
+
+    fn q(src: &str) -> Cq {
+        let mut names = DomainNames::new();
+        parse_query(&schema(), &mut names, src)
+            .unwrap()
+            .as_cq()
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn two_hop_paths() {
+        let d = instance(&[(0, 1), (1, 2), (2, 3)], &[]);
+        let r = eval_cq(&q("Q(x,y) :- E(x,z), E(z,y)."), &d);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[named(0), named(2)]));
+        assert!(r.contains(&[named(1), named(3)]));
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let d = instance(&[(0, 0)], &[]);
+        let yes = eval_cq(&q("Q() :- E(x,x)."), &d);
+        assert!(yes.truth());
+        let no = eval_cq(&q("Q() :- P(x)."), &d);
+        assert!(!no.truth());
+    }
+
+    #[test]
+    fn inequality_filters() {
+        let d = instance(&[(0, 0), (0, 1)], &[]);
+        let r = eval_cq(&q("Q(x,y) :- E(x,y), x != y."), &d);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[named(0), named(1)]));
+    }
+
+    #[test]
+    fn equality_merges_variables() {
+        let d = instance(&[(0, 0), (0, 1)], &[]);
+        let r = eval_cq(&q("Q(x) :- E(x,y), x = y."), &d);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[named(0)]));
+    }
+
+    #[test]
+    fn unsatisfiable_equalities_yield_empty() {
+        let d = instance(&[(0, 1)], &[0]);
+        // 1 = 2 as interned constants: use two distinct constant names.
+        let mut names = DomainNames::new();
+        let query = parse_query(
+            &schema(),
+            &mut names,
+            "Q(x) :- P(x), A = B.",
+        )
+        .unwrap();
+        let r = eval_cq(query.as_cq().unwrap(), &d);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn safe_negation() {
+        let d = instance(&[(0, 1), (1, 2)], &[2]);
+        let r = eval_cq(&q("Q(x) :- E(x,y), !P(y)."), &d);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[named(0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsafe query")]
+    fn unsafe_query_panics() {
+        let s = schema();
+        let mut query = Cq::new(&s);
+        let x = query.var("x");
+        let y = query.var("y");
+        query.head = vec![x.into()];
+        query.atom("P", vec![x.into()]);
+        query.add_neq(x.into(), y.into()); // y is not positively bound
+        eval_cq(&query, &instance(&[], &[0]));
+    }
+
+    #[test]
+    fn constants_in_head_and_body() {
+        let d = instance(&[(0, 1)], &[]);
+        // Constants parse as interned names; build by hand to control values.
+        let s = schema();
+        let mut query = Cq::new(&s);
+        let x = query.var("x");
+        query.head = vec![x.into(), Term::Const(named(9))];
+        query.atom("E", vec![Term::Const(named(0)), x.into()]);
+        let r = eval_cq(&query, &d);
+        assert!(r.contains(&[named(1), named(9)]));
+    }
+
+    #[test]
+    fn ucq_unions_disjuncts() {
+        let d = instance(&[(0, 1)], &[5]);
+        let mut names = DomainNames::new();
+        let u = parse_query(
+            &schema(),
+            &mut names,
+            "Q(x) :- P(x).\nQ(x) :- E(x,y).",
+        )
+        .unwrap();
+        let vqd_query::QueryExpr::Ucq(u) = u else { panic!() };
+        let r = eval_ucq(&u, &d);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[named(5)]));
+        assert!(r.contains(&[named(0)]));
+    }
+
+    #[test]
+    fn eval_on_empty_instance() {
+        let d = instance(&[], &[]);
+        let r = eval_cq(&q("Q(x) :- P(x)."), &d);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn normalize_eqs_keeps_semantics() {
+        let d = instance(&[(0, 1), (1, 1)], &[1]);
+        let orig = q("Q(x) :- E(x,y), P(y), x = y.");
+        let norm = normalize_eqs(&orig).unwrap();
+        assert!(norm.eqs.is_empty());
+        assert_eq!(eval_cq(&orig, &d), eval_cq(&norm, &d));
+    }
+}

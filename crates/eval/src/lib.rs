@@ -1,0 +1,37 @@
+//! # vqd-eval — evaluation, homomorphisms, containment
+//!
+//! The semantic engine underneath every result in the paper:
+//!
+//! * [`hom`] — backtracking homomorphism search with per-column indexes
+//!   (the tool behind `c̄ ∈ Q(D)`, the chase lemmas, and containment);
+//! * [`cq_eval`] / [`fo_eval`] — evaluation of the conjunctive family and
+//!   of full FO under active-domain semantics (the FO evaluator
+//!   materializes exactly the `R_θ` subformula relations of Theorem 5.4);
+//! * [`view_eval`] — view images `V(D)`;
+//! * [`containment`] — Chandra–Merlin / Sagiv–Yannakakis containment and
+//!   equivalence with frozen bodies `[Q]`;
+//! * [`minimize`] — CQ cores (plus an exhaustive baseline for the F8
+//!   ablation);
+//! * [`monotone`] — monotonicity probes used by the Section 5 lower
+//!   bounds.
+
+#![warn(missing_docs)]
+
+pub mod containment;
+pub mod cq_eval;
+pub mod fo_eval;
+pub mod hom;
+pub mod minimize;
+pub mod monotone;
+pub mod view_eval;
+
+pub use containment::{
+    contained_bounded, cq_contained, cq_contained_in_ucq, cq_equivalent, freeze, ucq_contained,
+    ucq_equivalent, BoundedContainment,
+};
+pub use cq_eval::{eval_cq, eval_ucq, normalize_eqs};
+pub use fo_eval::{eval_fo, evaluation_universe};
+pub use hom::{find_hom, for_each_hom, hom_exists, instance_hom, Assignment, InstanceIndex, Ordering};
+pub use minimize::{minimize_cq, minimize_cq_exhaustive, minimize_ucq};
+pub use monotone::{find_nonmonotone_witness, monotone_on_pair, NonMonotoneWitness};
+pub use view_eval::{apply_views, eval_query};

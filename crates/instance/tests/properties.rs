@@ -1,0 +1,118 @@
+//! Property tests for the relational substrate: algebraic laws of the
+//! instance operations and invariance of the canonicalization machinery.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vqd_instance::gen::{instance_at, space_size};
+use vqd_instance::iso::{are_isomorphic, canonical_form, for_each_permutation};
+use vqd_instance::{named, Instance, Schema, Value};
+
+fn schema() -> Schema {
+    Schema::new([("E", 2), ("P", 1)])
+}
+
+fn arb_instance(n: u32) -> impl Strategy<Value = Instance> {
+    let edges = proptest::collection::vec((0..n, 0..n), 0..8);
+    let nodes = proptest::collection::vec(0..n, 0..4);
+    (edges, nodes).prop_map(|(es, ns)| {
+        let mut d = Instance::empty(&schema());
+        for (a, b) in es {
+            d.insert_named("E", vec![named(a), named(b)]);
+        }
+        for p in ns {
+            d.insert_named("P", vec![named(p)]);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Union is commutative, associative, idempotent.
+    #[test]
+    fn union_laws(a in arb_instance(4), b in arb_instance(4), c in arb_instance(4)) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert!(a.is_subinstance_of(&a.union(&b)));
+    }
+
+    /// Restriction to the full active domain is the identity; restriction
+    /// is monotone and idempotent.
+    #[test]
+    fn restriction_laws(d in arb_instance(4)) {
+        let adom = d.adom();
+        prop_assert_eq!(d.restrict_to(&adom), d.clone());
+        let half: std::collections::BTreeSet<Value> =
+            adom.iter().copied().take(adom.len() / 2).collect();
+        let r = d.restrict_to(&half);
+        prop_assert!(r.is_subinstance_of(&d));
+        prop_assert_eq!(r.restrict_to(&half), r.clone());
+    }
+
+    /// Every instance extends itself and the empty instance; extension
+    /// implies subinstance.
+    #[test]
+    fn extension_laws(d in arb_instance(4)) {
+        let empty = Instance::empty(d.schema());
+        prop_assert!(d.is_extension_of(&d));
+        prop_assert!(d.is_extension_of(&empty));
+        // Adding a tuple over entirely fresh values is an extension.
+        let mut ext = d.clone();
+        ext.insert_named("E", vec![named(90), named(91)]);
+        prop_assert!(ext.is_extension_of(&d));
+        prop_assert!(d.is_subinstance_of(&ext));
+    }
+
+    /// `map_values` with an injective map preserves isomorphism type.
+    #[test]
+    fn renaming_preserves_iso_type(d in arb_instance(4), offset in 1..50u32) {
+        let map: BTreeMap<Value, Value> = d
+            .adom()
+            .into_iter()
+            .map(|v| (v, named(v.index() + offset * 10)))
+            .collect();
+        let renamed = d.map_values(&map);
+        if d.adom().len() <= 6 {
+            prop_assert!(are_isomorphic(&d, &renamed).is_some());
+            prop_assert_eq!(canonical_form(&d), canonical_form(&renamed));
+        }
+    }
+
+    /// Canonicalization is idempotent.
+    #[test]
+    fn canonical_form_idempotent(d in arb_instance(3)) {
+        if d.adom().len() <= 6 {
+            let c1 = canonical_form(&d);
+            let c2 = canonical_form(&c1);
+            prop_assert_eq!(c1, c2);
+        }
+    }
+
+    /// The random-access decoder agrees with itself across arbitrary
+    /// indices (no aliasing): distinct indices give distinct instances.
+    #[test]
+    fn instance_at_is_injective(i in 0u64..64, j in 0u64..64) {
+        let s = Schema::new([("P", 1), ("Q", 1)]);
+        let total = space_size(&s, 3).unwrap();
+        let (i, j) = (u128::from(i) % total, u128::from(j) % total);
+        let a = instance_at(&s, 3, i);
+        let b = instance_at(&s, 3, j);
+        prop_assert_eq!(a == b, i == j);
+    }
+}
+
+#[test]
+fn permutation_count_is_factorial() {
+    for n in 0..6usize {
+        let items: Vec<usize> = (0..n).collect();
+        let mut count = 0usize;
+        for_each_permutation(&items, |_| {
+            count += 1;
+            true
+        });
+        let fact: usize = (1..=n.max(1)).product();
+        assert_eq!(count, fact);
+    }
+}

@@ -1,0 +1,156 @@
+//! `vqd-cli` — determinacy and rewriting from the command line.
+//!
+//! ```text
+//! vqd-cli --schema "E/2,P/1" \
+//!         --views  "V1(x,y) :- E(x,y). V2(x) :- P(x)." \
+//!         --query  "Q(x,z) :- E(x,y), E(y,z)." \
+//!         [--max-domain 3] [--explain]
+//! ```
+//!
+//! Views and query may also be read from files (`@path`). Prints the
+//! [`analyze`](vqd::core::analyze::analyze) verdict: the determinacy
+//! status, the exact rewriting when one exists, the maximally-contained
+//! fallback otherwise, and (with `--explain`) the chase trace.
+
+use vqd::chase::CqViews;
+use vqd::core::analyze::{analyze, AnalyzeOptions, Determinacy};
+use vqd::core::determinacy::unrestricted::decide_unrestricted;
+use vqd::instance::{DomainNames, Schema};
+use vqd::query::{parse_program, parse_query, CqLang, QueryExpr, ViewSet};
+
+struct Args {
+    schema: String,
+    views: String,
+    query: String,
+    max_domain: usize,
+    explain: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vqd-cli --schema \"R/2,P/1\" --views \"<rules or @file>\" \
+         --query \"<rule or @file>\" [--max-domain N] [--explain]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut schema = None;
+    let mut views = None;
+    let mut query = None;
+    let mut max_domain = 3usize;
+    let mut explain = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--schema" => schema = it.next(),
+            "--views" => views = it.next(),
+            "--query" => query = it.next(),
+            "--max-domain" => {
+                max_domain = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--explain" => explain = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    let (Some(schema), Some(views), Some(query)) = (schema, views, query) else {
+        usage()
+    };
+    Args { schema, views, query, max_domain, explain }
+}
+
+/// `@path` reads file contents; anything else is literal.
+fn load(spec: &str) -> String {
+    match spec.strip_prefix('@') {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read `{path}`: {e}");
+            std::process::exit(2)
+        }),
+        None => spec.to_owned(),
+    }
+}
+
+fn parse_schema(spec: &str) -> Schema {
+    Schema::parse(spec).unwrap_or_else(|e| {
+        eprintln!("schema: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let schema = parse_schema(&args.schema);
+    let mut names = DomainNames::new();
+    let prog = parse_program(&schema, &mut names, &load(&args.views)).unwrap_or_else(|e| {
+        eprintln!("views: {e}");
+        std::process::exit(2)
+    });
+    let views = ViewSet::new(&schema, prog.defs);
+    let q = parse_query(&schema, &mut names, &load(&args.query)).unwrap_or_else(|e| {
+        eprintln!("query: {e}");
+        std::process::exit(2)
+    });
+
+    println!("schema: {schema}");
+    println!("views:\n{views}\n");
+    println!("query:  {}\n", q.render("Q"));
+
+    if args.explain {
+        if let (QueryExpr::Cq(cq), true) = (&q, views.is_cq()) {
+            if cq.language() == CqLang::Cq {
+                let outcome = decide_unrestricted(&CqViews::new(views.clone()), cq);
+                println!("--- chase trace (Theorem 3.7) ---");
+                println!("{}", outcome.explain());
+            }
+        }
+    }
+
+    let a = analyze(
+        &views,
+        &q,
+        AnalyzeOptions { max_domain: args.max_domain, ..Default::default() },
+    );
+    println!("--- analysis ---");
+    for note in &a.notes {
+        println!("• {note}");
+    }
+    match &a.determinacy {
+        Determinacy::DeterminedUnrestricted => {
+            println!("\nverdict: V DETERMINES Q (unrestricted, hence finite)");
+            if let Some(r) = &a.rewriting {
+                println!("rewriting: {}", r.render("R"));
+            }
+        }
+        Determinacy::Refuted(c) => {
+            println!("\nverdict: V does NOT determine Q — witness pair:");
+            println!("--- D1 ---\n{}", c.d1.render(&names));
+            println!("--- D2 ---\n{}", c.d2.render(&names));
+            println!("--- common view image ---\n{}", c.image.render(&names));
+            println!("Q(D1) = {}", c.q1.render(&names));
+            println!("Q(D2) = {}", c.q2.render(&names));
+            if let Some(mcr) = &a.maximally_contained {
+                println!("\nmaximally-contained fallback:\n{}", mcr.render("R"));
+            }
+        }
+        Determinacy::OpenUpTo(n) => {
+            println!(
+                "\nverdict: OPEN — not determined over unrestricted instances, \
+                 no finite counterexample with ≤ {n} values \
+                 (finite CQ determinacy is the paper's open problem)"
+            );
+            if let Some(mcr) = &a.maximally_contained {
+                println!("\nmaximally-contained fallback:\n{}", mcr.render("R"));
+            }
+        }
+    }
+    if a.genericity_violation {
+        println!("\n(Proposition 4.3 genericity violation found en route)");
+    }
+}

@@ -1,0 +1,24 @@
+//! # vqd — Views and Queries: Determinacy and Rewriting
+//!
+//! Meta-crate re-exporting the whole workspace. See the individual crates
+//! for the substance:
+//!
+//! * [`vqd_instance`] — relational substrate (schemas, instances, nulls,
+//!   isomorphism, enumeration);
+//! * [`vqd_query`] — CQ / UCQ / FO query languages and views;
+//! * [`vqd_eval`] — homomorphisms, evaluation, containment, minimization;
+//! * [`vqd_chase`] — frozen bodies, view inverses, the Theorem 3.3 tower;
+//! * [`vqd_datalog`] — a semi-naive Datalog engine (monotone baseline);
+//! * [`vqd_monoid`] — finite monoidal functions and the word problem;
+//! * [`vqd_turing`] — Turing machines encoded as FO sentences (Theorem 5.1);
+//! * [`vqd_core`] — determinacy checking, rewriting, and every construction
+//!   of the paper.
+
+pub use vqd_chase as chase;
+pub use vqd_core as core;
+pub use vqd_datalog as datalog;
+pub use vqd_eval as eval;
+pub use vqd_instance as instance;
+pub use vqd_monoid as monoid;
+pub use vqd_query as query;
+pub use vqd_turing as turing;

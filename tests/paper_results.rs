@@ -1,0 +1,29 @@
+//! The headline integration test: every experiment table (E1–E14) that
+//! the `repro` binary prints must pass. This keeps EXPERIMENTS.md honest —
+//! the published tables are regenerated and re-checked on every test run.
+
+use vqd_bench::experiments;
+
+#[test]
+fn all_experiments_pass() {
+    let reports = experiments::run_all();
+    assert_eq!(reports.len(), 17);
+    let mut failed = Vec::new();
+    for r in &reports {
+        println!("{r}");
+        if !r.pass {
+            failed.push(r.id);
+        }
+    }
+    assert!(failed.is_empty(), "failing experiments: {failed:?}");
+}
+
+#[test]
+fn run_one_dispatch_matches_ids() {
+    for i in 1..=17 {
+        let id = format!("e{i}");
+        let r = experiments::run_one(&id).expect("known id");
+        assert_eq!(r.id.to_lowercase(), id);
+    }
+    assert!(experiments::run_one("e99").is_none());
+}
