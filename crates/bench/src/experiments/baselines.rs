@@ -6,8 +6,9 @@ use crate::genq::{random_cq, random_cq_views, CqGen};
 use crate::report::Report;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use vqd_budget::{Budget, VqdError};
 use vqd_core::certain::certain_sound;
-use vqd_core::determinacy::unrestricted::decide_unrestricted;
+use vqd_core::determinacy::unrestricted::decide_unrestricted_budgeted;
 use vqd_core::minicon::{
     contained_rewritings, maximally_contained_rewriting, minicon_equivalent_rewriting,
 };
@@ -19,7 +20,7 @@ use vqd_instance::{named, Instance, Schema};
 /// equivalent-rewriting existence must coincide with the chase test
 /// (Theorem 3.7 / [22]); the MCR must be contained and must reproduce
 /// the chase-based certain answers under sound views.
-pub fn e17(samples: usize, seed: u64) -> Report {
+pub fn e17(samples: usize, seed: u64, budget: &Budget) -> Report {
     let mut report = Report::new(
         "E17",
         "MiniCon [22] vs. the chase: rewriting existence and the MCR",
@@ -30,10 +31,21 @@ pub fn e17(samples: usize, seed: u64) -> Report {
 
     // 1. Agreement sweep on random constant-free pairs.
     let (mut agree, mut both_yes, mut both_no) = (0usize, 0usize, 0usize);
-    for _ in 0..samples {
+    for done in 0..samples {
+        if let Err(e) = budget.checkpoint_with(&format_args!("E17: {done} of {samples} pairs compared")) {
+            report.trip(&e);
+            return report;
+        }
         let views = random_cq_views(&schema, 1, CqGen { atoms: 2, vars: 3, max_head: 2 }, &mut rng);
         let q = random_cq(&schema, CqGen { atoms: 2, vars: 3, max_head: 2 }, &mut rng);
-        let chase_says = decide_unrestricted(&views, &q).rewriting.is_some();
+        let chase_says = match decide_unrestricted_budgeted(&views, &q, budget) {
+            Ok(out) => out.rewriting.is_some(),
+            Err(VqdError::Exhausted(e)) => {
+                report.trip(&e);
+                return report;
+            }
+            Err(e) => panic!("E17: {e}"),
+        };
         let minicon_says = minicon_equivalent_rewriting(&views, &q).is_some();
         if chase_says == minicon_says {
             agree += 1;

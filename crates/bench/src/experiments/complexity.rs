@@ -4,6 +4,7 @@
 use crate::genq::{path_query, path_views};
 use crate::report::Report;
 use std::time::Instant;
+use vqd_budget::Budget;
 use vqd_core::answering::{answer_conp, answer_np, chase_preimage, preimage_bound};
 use vqd_core::certain::{certain_exact_bounded, certain_sound};
 use vqd_eval::{apply_views, eval_cq};
@@ -12,7 +13,7 @@ use vqd_query::QueryExpr;
 
 /// E9 — Theorem 5.2 / Lemma 5.3: NP guess-and-check query answering;
 /// the chase fast path vs. the exponential bounded search.
-pub fn e9(max_edges: usize) -> Report {
+pub fn e9(max_edges: usize, budget: &Budget) -> Report {
     let mut report = Report::new(
         "E9",
         "Thm 5.2 / Lemma 5.3: query answering for ∃FO (CQ) views in NP ∩ coNP",
@@ -22,6 +23,10 @@ pub fn e9(max_edges: usize) -> Report {
     let views = path_views(&schema, 1); // identity views: V = E
     let q = QueryExpr::Cq(path_query(&schema, 2));
     for edges in 1..=max_edges {
+        if let Err(e) = budget.checkpoint_with(&format_args!("E9: at extent size {edges} of {max_edges}")) {
+            report.trip(&e);
+            return report;
+        }
         // Extent: a chain of `edges` view tuples.
         let mut d = Instance::empty(&schema);
         for i in 0..edges {
@@ -65,7 +70,7 @@ pub fn e9(max_edges: usize) -> Report {
 
 /// E14 — certain answers: exact vs. sound views, collapse under
 /// determinacy, certain/possible gap without it.
-pub fn e14() -> Report {
+pub fn e14(budget: &Budget) -> Report {
     let mut report = Report::new(
         "E14",
         "Certain answers [1]: chase (sound views) vs. intersection (exact views)",
@@ -75,6 +80,10 @@ pub fn e14() -> Report {
 
     // Scenario 1: identity views (determined) — everything collapses.
     {
+        if let Err(e) = budget.checkpoint_with(&"E14: at scenario 1 (identity views)") {
+            report.trip(&e);
+            return report;
+        }
         let views = path_views(&schema, 1);
         let q = path_query(&schema, 2);
         let mut d = Instance::empty(&schema);
@@ -104,6 +113,10 @@ pub fn e14() -> Report {
 
     // Scenario 2: 2-path views, edge query (not determined) — gap.
     {
+        if let Err(e) = budget.checkpoint_with(&"E14: at scenario 2 (2-path views)") {
+            report.trip(&e);
+            return report;
+        }
         let views = path_views(&schema, 2);
         let q = path_query(&schema, 1); // the raw edge relation
         let mut extent = Instance::empty(views.as_view_set().output_schema());

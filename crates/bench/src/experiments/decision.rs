@@ -5,9 +5,10 @@ use crate::genq::{path_query, path_views, random_cq, random_cq_views, CqGen};
 use crate::report::Report;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use vqd_budget::{Budget, VqdError};
 use vqd_chase::{CqViews, Tower};
-use vqd_core::determinacy::semantic::{check_exhaustive, SemanticVerdict};
-use vqd_core::determinacy::unrestricted::decide_unrestricted;
+use vqd_core::determinacy::semantic::{check_exhaustive_budgeted, SemanticVerdict};
+use vqd_core::determinacy::unrestricted::decide_unrestricted_budgeted;
 use vqd_core::rewriting::{decide_boolean_unary, is_exact_rewriting};
 use vqd_eval::{apply_views, eval_cq};
 use vqd_instance::gen::random_instance;
@@ -20,7 +21,7 @@ fn graph_schema() -> Schema {
 
 /// E1 — Theorem 3.7: the chase decision procedure vs. exhaustive
 /// semantics on random CQ view/query pairs.
-pub fn e1(samples: usize, seed: u64) -> Report {
+pub fn e1(samples: usize, seed: u64, budget: &Budget) -> Report {
     let mut report = Report::new(
         "E1",
         "Thm 3.7: unrestricted CQ determinacy decision vs. bounded semantics",
@@ -29,14 +30,32 @@ pub fn e1(samples: usize, seed: u64) -> Report {
     let schema = graph_schema();
     let mut rng = StdRng::seed_from_u64(seed);
     let (mut determined, mut refuted, mut open, mut contradictions) = (0, 0, 0, 0);
-    for _ in 0..samples {
+    for done in 0..samples {
+        if let Err(e) = budget.checkpoint_with(&format_args!("E1: {done} of {samples} pairs checked")) {
+            report.trip(&e);
+            break;
+        }
         let views = random_cq_views(&schema, 2, CqGen { atoms: 2, vars: 3, max_head: 2 }, &mut rng);
         let q = random_cq(&schema, CqGen { atoms: 2, vars: 3, max_head: 2 }, &mut rng);
         if q.atoms.is_empty() {
             continue;
         }
-        let out = decide_unrestricted(&views, &q);
-        let sem = check_exhaustive(views.as_view_set(), &QueryExpr::Cq(q.clone()), 2, 1 << 22);
+        let out = match decide_unrestricted_budgeted(&views, &q, budget) {
+            Ok(out) => out,
+            Err(VqdError::Exhausted(e)) => {
+                report.trip(&e);
+                break;
+            }
+            Err(e) => panic!("E1: {e}"),
+        };
+        let sem = match check_exhaustive_budgeted(views.as_view_set(), &QueryExpr::Cq(q.clone()), 2, 1 << 22, budget) {
+            Ok(SemanticVerdict::Exhausted(e)) | Err(VqdError::Exhausted(e)) => {
+                report.trip(&e);
+                break;
+            }
+            Ok(v) => v,
+            Err(e) => panic!("E1: {e}"),
+        };
         match (&out.determined, &sem) {
             (true, SemanticVerdict::NotDetermined(_)) => {
                 // Unrestricted determinacy implies finite determinacy: a
@@ -65,7 +84,7 @@ pub fn e1(samples: usize, seed: u64) -> Report {
 /// E2 — Theorem 3.3: when the procedure says determined, the canonical
 /// rewriting is exact (verified by expansion equivalence and on random
 /// instances).
-pub fn e2(samples: usize, seed: u64) -> Report {
+pub fn e2(samples: usize, seed: u64, budget: &Budget) -> Report {
     let mut report = Report::new(
         "E2",
         "Thm 3.3: canonical rewriting Q_V is exact whenever the test passes",
@@ -75,9 +94,20 @@ pub fn e2(samples: usize, seed: u64) -> Report {
     let mut rng = StdRng::seed_from_u64(seed);
     let (mut found, mut expansion_ok, mut instance_ok) = (0, 0, 0);
     while found < samples {
+        if let Err(e) = budget.checkpoint_with(&format_args!("E2: {found} of {samples} determined pairs verified")) {
+            report.trip(&e);
+            break;
+        }
         let views = random_cq_views(&schema, 2, CqGen { atoms: 2, vars: 3, max_head: 2 }, &mut rng);
         let q = random_cq(&schema, CqGen { atoms: 2, vars: 3, max_head: 2 }, &mut rng);
-        let out = decide_unrestricted(&views, &q);
+        let out = match decide_unrestricted_budgeted(&views, &q, budget) {
+            Ok(out) => out,
+            Err(VqdError::Exhausted(e)) => {
+                report.trip(&e);
+                break;
+            }
+            Err(e) => panic!("E2: {e}"),
+        };
         let Some(rewriting) = out.rewriting else {
             continue;
         };
@@ -105,7 +135,7 @@ pub fn e2(samples: usize, seed: u64) -> Report {
 
 /// E3 — Proposition 3.6: the counterexample tower's invariants, level by
 /// level, on the classic 2-path-views / 3-path-query pair.
-pub fn e3(levels: usize) -> Report {
+pub fn e3(levels: usize, budget: &Budget) -> Report {
     let mut report = Report::new(
         "E3",
         "Thm 3.3 proof: the D_k/D'_k tower and Proposition 3.6 invariants",
@@ -114,8 +144,18 @@ pub fn e3(levels: usize) -> Report {
     let schema = Schema::new([("E", 2)]);
     let views = path_views(&schema, 2);
     let q = path_query(&schema, 3);
-    let mut tower = Tower::new(&views, &q);
-    tower.grow_to(&views, levels + 1);
+    let mut tower = match Tower::try_new(&views, &q, budget) {
+        Ok(t) => t,
+        Err(VqdError::Exhausted(e)) => {
+            report.trip(&e);
+            return report;
+        }
+        Err(e) => panic!("E3: {e}"),
+    };
+    if let Err(VqdError::Exhausted(e)) = tower.try_grow_to(&views, levels + 1, budget) {
+        report.trip(&e);
+        return report;
+    }
     for k in 0..levels {
         let inv = tower.check_invariants(k);
         let (in_d, in_dp) = tower.separation(&q, k);
@@ -138,7 +178,7 @@ pub fn e3(levels: usize) -> Report {
 
 /// E13 — Theorem 4.6: Boolean/unary CQ views — determinacy decided via
 /// rewriting existence, cross-checked exhaustively.
-pub fn e13(samples: usize, seed: u64) -> Report {
+pub fn e13(samples: usize, seed: u64, budget: &Budget) -> Report {
     let mut report = Report::new(
         "E13",
         "Thm 4.6: Boolean/unary views — decidable via CQ-rewriting existence",
@@ -147,7 +187,11 @@ pub fn e13(samples: usize, seed: u64) -> Report {
     let schema = graph_schema();
     let mut rng = StdRng::seed_from_u64(seed);
     let (mut pos, mut neg, mut agree, mut total) = (0, 0, 0, 0);
-    for _ in 0..samples {
+    for done in 0..samples {
+        if let Err(e) = budget.checkpoint_with(&format_args!("E13: {done} of {samples} pairs checked")) {
+            report.trip(&e);
+            break;
+        }
         // Unary/Boolean views only.
         let views = {
             let defs: Vec<(String, QueryExpr)> = (0..2)
@@ -171,7 +215,14 @@ pub fn e13(samples: usize, seed: u64) -> Report {
         let q = random_cq(&schema, CqGen { atoms: 2, vars: 3, max_head: 1 }, &mut rng);
         total += 1;
         let decided = decide_boolean_unary(&views, &q);
-        let sem = check_exhaustive(views.as_view_set(), &QueryExpr::Cq(q.clone()), 2, 1 << 22);
+        let sem = match check_exhaustive_budgeted(views.as_view_set(), &QueryExpr::Cq(q.clone()), 2, 1 << 22, budget) {
+            Ok(SemanticVerdict::Exhausted(e)) | Err(VqdError::Exhausted(e)) => {
+                report.trip(&e);
+                break;
+            }
+            Ok(v) => v,
+            Err(e) => panic!("E13: {e}"),
+        };
         match (&decided, &sem) {
             (Some(_), SemanticVerdict::NotDetermined(_)) => {
                 // Rewriting exists but semantics refute: impossible.

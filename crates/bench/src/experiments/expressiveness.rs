@@ -2,6 +2,7 @@
 //! 5.4 and 5.1).
 
 use crate::report::Report;
+use vqd_budget::Budget;
 use vqd_core::reductions::parity::{canonical_matching, parity_construction, parity_instance};
 use vqd_core::reductions::turing::theorem_5_1;
 use vqd_eval::{apply_views, eval_fo};
@@ -9,7 +10,7 @@ use vqd_instance::named;
 use vqd_turing::{build_instance, reference_query, Tm};
 
 /// E10 — Theorem 5.4: the GIMP construction on parity-via-matchings.
-pub fn e10(max_n: usize) -> Report {
+pub fn e10(max_n: usize, budget: &Budget) -> Report {
     let mut report = Report::new(
         "E10",
         "Thm 5.4: implicit definability — Q_V computes parity (∉ FO)",
@@ -23,6 +24,10 @@ pub fn e10(max_n: usize) -> Report {
         con.tau_pp.len()
     ));
     for n in 0..=max_n {
+        if let Err(e) = budget.checkpoint_with(&format_args!("E10: at universe size {n} of {max_n}")) {
+            report.trip(&e);
+            return report;
+        }
         let base = parity_instance(n, &canonical_matching(n));
         let full = con.complete(&base);
         let out = eval_fo(&con.query, &full).truth();
@@ -74,7 +79,7 @@ pub fn e10(max_n: usize) -> Report {
 
 /// E11 — Theorem 5.1: FO views whose induced query is a full Turing
 /// computation.
-pub fn e11() -> Report {
+pub fn e11(budget: &Budget) -> Report {
     let mut report = Report::new(
         "E11",
         "Thm 5.1: φ_M views — Q_V computes the machine's graph query",
@@ -93,6 +98,10 @@ pub fn e11() -> Report {
     ] {
         let con = theorem_5_1(&tm);
         for edges in graphs {
+            if let Err(e) = budget.checkpoint_with(&format_args!("E11: at machine `{}`", tm.name)) {
+                report.trip(&e);
+                return report;
+            }
             let inst = build_instance(&tm, 2, edges, 4).expect("run fits");
             let image = apply_views(&con.views, &inst);
             let view_ok = image.rel_named("V") == inst.rel_named("R1");

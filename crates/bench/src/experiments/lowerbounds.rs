@@ -1,10 +1,11 @@
 //! Experiments E6–E8 and E12: the rewriting-language lower bounds.
 
 use crate::report::Report;
-use vqd_core::determinacy::semantic::check_exhaustive;
+use vqd_budget::{Budget, VqdError};
+use vqd_core::determinacy::semantic::{check_exhaustive_budgeted, SemanticVerdict};
 use vqd_core::reductions::order::{example_3_2, order_query, order_schema, prop_5_7_views};
 use vqd_core::witnesses::{prop_5_12, prop_5_12_fo_rewriting, prop_5_8, NonMonotonicityWitness};
-use vqd_datalog::{eval_program, Program, Strategy};
+use vqd_datalog::{eval_program_budgeted, EvalError, Program, Strategy};
 use vqd_eval::{apply_views, eval_query};
 use vqd_instance::{DomainNames, Instance, Schema};
 use vqd_query::{parse_query, FoQuery, QueryExpr};
@@ -14,6 +15,7 @@ fn witness_report(
     title: &'static str,
     w: &NonMonotonicityWitness,
     domains: std::ops::RangeInclusive<usize>,
+    budget: &Budget,
 ) -> Report {
     let mut report = Report::new(
         id,
@@ -29,8 +31,18 @@ fn witness_report(
     report.check(w.exhibits_nonmonotonicity(), "Q_V non-monotone on the paper's pair");
     let mut determined = true;
     for n in domains {
-        if check_exhaustive(&w.views, &QueryExpr::Cq(w.query.clone()), n, 1 << 22).is_refuted() {
-            determined = false;
+        match check_exhaustive_budgeted(&w.views, &QueryExpr::Cq(w.query.clone()), n, 1 << 22, budget)
+        {
+            Ok(SemanticVerdict::Exhausted(e)) | Err(VqdError::Exhausted(e)) => {
+                report.trip(&e);
+                return report;
+            }
+            Ok(v) => {
+                if v.is_refuted() {
+                    determined = false;
+                }
+            }
+            Err(e) => panic!("{id}: {e}"),
         }
     }
     report.row(vec!["V ↠ Q (exhaustive, bounded)".into(), determined.to_string()]);
@@ -40,28 +52,37 @@ fn witness_report(
 }
 
 /// E6 — Proposition 5.8 (UCQ views, unary everything).
-pub fn e6() -> Report {
+pub fn e6(budget: &Budget) -> Report {
     witness_report(
         "E6",
         "Prop 5.8: UCQ views with non-monotone Q_V (unary schema)",
         &prop_5_8(),
         1..=3,
+        budget,
     )
 }
 
 /// E7 — Proposition 5.12 (CQ≠ views, binary R).
-pub fn e7() -> Report {
+pub fn e7(budget: &Budget) -> Report {
     let w = prop_5_12();
     let mut report = witness_report(
         "E7",
         "Prop 5.12: CQ≠ views with non-monotone Q_V (binary schema)",
         &w,
         1..=3,
+        budget,
     );
+    if report.tripped() {
+        return report;
+    }
     // The paper's FO rewriting (V1 ∧ ¬V2) ∨ V3 is exact on small domains.
     let r = prop_5_12_fo_rewriting(&w);
     let mut exact = true;
     for d in vqd_instance::gen::InstanceEnumerator::new(&w.schema, 2) {
+        if let Err(e) = budget.checkpoint_with(&"E7: verifying the FO rewriting over domain-2 instances") {
+            report.trip(&e);
+            return report;
+        }
         let image = apply_views(&w.views, &d);
         if vqd_eval::eval_cq(&w.query, &d) != eval_query(&r, &image) {
             exact = false;
@@ -74,7 +95,7 @@ pub fn e7() -> Report {
 
 /// E8 — Corollaries 5.6/5.9/5.13: Datalog^≠ is monotone, so every
 /// candidate program gets the Prop 5.8 witness wrong.
-pub fn e8() -> Report {
+pub fn e8(budget: &Budget) -> Report {
     let mut report = Report::new(
         "E8",
         "Cor 5.9: monotone Datalog^≠ candidates all fail the Prop 5.8 witness",
@@ -101,11 +122,25 @@ pub fn e8() -> Report {
     let mut names = DomainNames::new();
     let mut any_correct = false;
     for src in candidates {
+        if let Err(e) = budget.checkpoint_with(&format_args!("E8: at candidate `{src}`")) {
+            report.trip(&e);
+            return report;
+        }
         let prog = Program::parse(&pschema, &mut names, src).expect("candidate parses");
         assert!(prog.is_negation_free(), "candidates must be Datalog^≠ (monotone)");
         let ans = pschema.rel("Ans");
-        let out1 = eval_program(&prog, &e1, Strategy::SemiNaive).expect("stratifies");
-        let out2 = eval_program(&prog, &e2, Strategy::SemiNaive).expect("stratifies");
+        let run = |edb: &Instance| match eval_program_budgeted(&prog, edb, Strategy::SemiNaive, budget) {
+            Ok(db) => Ok(db),
+            Err(EvalError::Exhausted { info, .. }) => Err(*info),
+            Err(e) => panic!("E8: {e}"),
+        };
+        let (out1, out2) = match (run(&e1), run(&e2)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                report.trip(&e);
+                return report;
+            }
+        };
         let ok1 = out1.rel(ans) == &want1;
         let ok2 = out2.rel(ans) == &want2;
         if ok1 && ok2 {
@@ -125,7 +160,7 @@ pub fn e8() -> Report {
 
 /// E12 — Example 3.2 / Proposition 5.7: the order constructions
 /// determine exactly the order-invariant queries.
-pub fn e12() -> Report {
+pub fn e12(budget: &Budget) -> Report {
     let mut report = Report::new(
         "E12",
         "Ex 3.2 / Prop 5.7: order views determine order-invariant φ only",
@@ -150,6 +185,10 @@ pub fn e12() -> Report {
             (&invariant, "∃≥2 elements", true),
             (&sensitive, "min(<) ∈ P", false),
         ] {
+            if let Err(e) = budget.checkpoint_with(&format_args!("E12: at `{construction}` × `{label}`")) {
+                report.trip(&e);
+                return report;
+            }
             let (views, q) = if is_57 {
                 (prop_5_7_views(&base), order_query(&slt, phi))
             } else {
@@ -157,8 +196,18 @@ pub fn e12() -> Report {
             };
             let mut determined = true;
             for n in 1..=3 {
-                if check_exhaustive(&views, &QueryExpr::Fo(q.clone()), n, 1 << 22).is_refuted() {
-                    determined = false;
+                match check_exhaustive_budgeted(&views, &QueryExpr::Fo(q.clone()), n, 1 << 22, budget)
+                {
+                    Ok(SemanticVerdict::Exhausted(e)) | Err(VqdError::Exhausted(e)) => {
+                        report.trip(&e);
+                        return report;
+                    }
+                    Ok(v) => {
+                        if v.is_refuted() {
+                            determined = false;
+                        }
+                    }
+                    Err(e) => panic!("E12: {e}"),
                 }
             }
             report.row(vec![

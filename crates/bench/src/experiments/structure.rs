@@ -2,6 +2,7 @@
 //! mapping `Q_V` (Proposition 4.3 and the Theorem 5.11 probe).
 
 use crate::report::Report;
+use vqd_budget::Budget;
 use vqd_core::genericity::{find_genericity_violation, proposition_4_3};
 use vqd_core::qv_probe::qv_monotonicity_probe;
 use vqd_core::witnesses::prop_5_8;
@@ -18,7 +19,7 @@ fn setup(schema: &Schema, view_src: &str, q_src: &str) -> (ViewSet, QueryExpr) {
 
 /// E15 — Proposition 4.3: the genericity necessary conditions as a
 /// determinacy pre-filter.
-pub fn e15() -> Report {
+pub fn e15(budget: &Budget) -> Report {
     let mut report = Report::new(
         "E15",
         "Prop 4.3: adom containment and automorphism transfer for Q_V",
@@ -28,6 +29,10 @@ pub fn e15() -> Report {
 
     // Determined pair: both conditions hold everywhere (domain ≤ 3).
     {
+        if let Err(e) = budget.checkpoint_with(&"E15: at the determined pair") {
+            report.trip(&e);
+            return report;
+        }
         let (v, q) = setup(&schema, "V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
         let violation = find_genericity_violation(&v, &q, 3, 1 << 26);
         report.row(vec![
@@ -40,6 +45,10 @@ pub fn e15() -> Report {
     }
     // Hidden values: condition (i) fails.
     {
+        if let Err(e) = budget.checkpoint_with(&"E15: at the hidden-values pair") {
+            report.trip(&e);
+            return report;
+        }
         let (v, q) = setup(&schema, "V(x) :- P(x).", "Q(x,y) :- E(x,y).");
         let violation = find_genericity_violation(&v, &q, 2, 1 << 26);
         let found = violation.as_ref().map(|(_, r)| !r.adom_contained).unwrap_or(false);
@@ -76,7 +85,7 @@ pub fn e15() -> Report {
 
 /// E16 — Theorem 5.11: is `Q_V` monotone? Measured over all realized
 /// view images on bounded domains.
-pub fn e16() -> Report {
+pub fn e16(budget: &Budget) -> Report {
     let mut report = Report::new(
         "E16",
         "Thm 5.11 probe: monotonicity of Q_V over realized images",
@@ -86,6 +95,10 @@ pub fn e16() -> Report {
 
     // CQ-determined pair: Q_V is a CQ (Thm 3.3) hence monotone.
     {
+        if let Err(e) = budget.checkpoint_with(&"E16: at the first CQ pair") {
+            report.trip(&e);
+            return report;
+        }
         let (v, q) = setup(&schema, "V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
         let p = qv_monotonicity_probe(&v, &q, 3, 1 << 26).expect("fits");
         report.row(vec![
@@ -118,6 +131,10 @@ pub fn e16() -> Report {
     }
     // The Prop 5.8 UCQ witness: determined but non-monotone Q_V.
     {
+        if let Err(e) = budget.checkpoint_with(&"E16: at the Prop 5.8 witness") {
+            report.trip(&e);
+            return report;
+        }
         let w = prop_5_8();
         let p = qv_monotonicity_probe(&w.views, &QueryExpr::Cq(w.query.clone()), 2, 1 << 26)
             .expect("fits");

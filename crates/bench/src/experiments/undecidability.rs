@@ -2,7 +2,8 @@
 //! on the finite prefix of their universes.
 
 use crate::report::Report;
-use vqd_core::determinacy::semantic::check_exhaustive;
+use vqd_budget::{Budget, VqdError};
+use vqd_core::determinacy::semantic::{check_exhaustive_budgeted, SemanticVerdict};
 use vqd_core::reductions::monoid::{op_pair, theorem_4_5};
 use vqd_core::reductions::satisfiability::{from_satisfiability, from_validity};
 use vqd_eval::{apply_views, eval_ucq};
@@ -47,7 +48,7 @@ fn cases() -> Vec<(&'static str, Equations, (usize, usize))> {
 /// E4 — Theorem 4.5: `V ↠ Q_{H,F}` ⟺ `H ⊨ F` over monoidal
 /// functions, verified on all monoidal functions of size ≤ 3 and by
 /// exhaustive determinacy on domain 2.
-pub fn e4() -> Report {
+pub fn e4(budget: &Budget) -> Report {
     let mut report = Report::new(
         "E4",
         "Thm 4.5: word problem ⇔ UCQ determinacy (both variants)",
@@ -56,6 +57,10 @@ pub fn e4() -> Report {
     for (name, h, f) in cases() {
         let holds = word_problem_counterexample(&h, f, 3).is_none();
         for equality_free in [false, true] {
+            if let Err(e) = budget.checkpoint_with(&format_args!("E4: at case `{name}`")) {
+                report.trip(&e);
+                return report;
+            }
             let red = theorem_4_5(&h, f, equality_free);
             // Marker-pair test over every monoidal function of size ≤ 3:
             // equal images always; equal Q-answers iff H ⊨ F (over this
@@ -76,8 +81,20 @@ pub fn e4() -> Report {
             }
             let split_matches = some_split != holds;
             // Exhaustive finite determinacy on domain 2.
-            let verdict =
-                check_exhaustive(&red.views, &QueryExpr::Ucq(red.query.clone()), 2, 1 << 22);
+            let verdict = match check_exhaustive_budgeted(
+                &red.views,
+                &QueryExpr::Ucq(red.query.clone()),
+                2,
+                1 << 22,
+                budget,
+            ) {
+                Ok(SemanticVerdict::Exhausted(e)) | Err(VqdError::Exhausted(e)) => {
+                    report.trip(&e);
+                    return report;
+                }
+                Ok(v) => v,
+                Err(e) => panic!("E4: {e}"),
+            };
             let det = !verdict.is_refuted();
             // On domain 2 the only monoidal counterexamples of size ≤ 2
             // are visible; determinacy verdict must match H ⊨ F *over
@@ -103,7 +120,7 @@ pub fn e4() -> Report {
 }
 
 /// E5 — Proposition 4.1: the (un)satisfiability / validity reductions.
-pub fn e5() -> Report {
+pub fn e5(budget: &Budget) -> Report {
     let mut report = Report::new(
         "E5",
         "Prop 4.1: determinacy inherits undecidability from sat/validity",
@@ -130,6 +147,10 @@ pub fn e5() -> Report {
         "S() := exists x. P(x).",
     ];
     for ((label, property, expected, use_sat), src) in cases.iter().zip(sources) {
+        if let Err(e) = budget.checkpoint_with(&format_args!("E5: at sentence `{label}`")) {
+            report.trip(&e);
+            return report;
+        }
         let phi = sentence(src);
         let (views, q) = if *use_sat {
             from_satisfiability(&phi)
@@ -138,8 +159,17 @@ pub fn e5() -> Report {
         };
         let mut determined = true;
         for n in 1..=3 {
-            if check_exhaustive(&views, &q, n, 1 << 22).is_refuted() {
-                determined = false;
+            match check_exhaustive_budgeted(&views, &q, n, 1 << 22, budget) {
+                Ok(SemanticVerdict::Exhausted(e)) | Err(VqdError::Exhausted(e)) => {
+                    report.trip(&e);
+                    return report;
+                }
+                Ok(v) => {
+                    if v.is_refuted() {
+                        determined = false;
+                    }
+                }
+                Err(e) => panic!("E5: {e}"),
             }
         }
         report.row(vec![
@@ -160,7 +190,14 @@ mod tests {
 
     #[test]
     fn e5_passes() {
-        assert!(e5().pass);
+        assert!(e5(&Budget::unlimited()).pass);
+    }
+
+    #[test]
+    fn e5_degrades_gracefully_on_a_tiny_budget() {
+        let b = Budget::unlimited().with_step_limit(1);
+        let r = e5(&b);
+        assert!(r.tripped() || r.pass);
     }
 
     // E4 is exercised from the integration suite (it is slower).
@@ -173,7 +210,7 @@ mod tests {
 
     #[test]
     fn report_shapes() {
-        let r = e5();
+        let r = e5(&Budget::unlimited());
         assert_eq!(r.rows.len(), 4);
     }
 

@@ -11,8 +11,9 @@
 //!    the converse, so this membership *decides* unrestricted determinacy
 //!    (Theorem 3.7).
 
-use crate::inverse::{v_inverse, CqViews};
+use crate::inverse::{v_inverse_budgeted, CqViews};
 use std::collections::BTreeMap;
+use vqd_budget::{Budget, VqdError};
 use vqd_eval::{eval_cq, freeze};
 use vqd_instance::{Instance, NullGen, Value};
 use vqd_query::{Cq, CqLang, Term, VarId};
@@ -47,20 +48,39 @@ impl Canonical {
 ///
 /// # Panics
 /// Panics unless `q` is a plain CQ (no `=`, `≠`, `¬`) over the views'
-/// input schema, with a non-empty body.
+/// input schema, with a non-empty body. [`try_canonical`] reports the
+/// violation as a structured error instead.
 pub fn canonical(views: &CqViews, q: &Cq) -> Canonical {
-    assert_eq!(
-        &q.schema,
-        views.as_view_set().input_schema(),
-        "canonical: query schema must match the views' input schema"
-    );
-    assert_eq!(
-        q.language(),
-        CqLang::Cq,
-        "canonical rewriting is defined for plain CQs (Theorem 3.3)"
-    );
-    assert!(!q.atoms.is_empty(), "canonical: query body must be non-empty");
-    assert!(q.is_safe(), "canonical: query must be safe");
+    match try_canonical(views, q) {
+        Ok(can) => can,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`canonical`]: hypothesis violations become [`VqdError`]s.
+pub fn try_canonical(views: &CqViews, q: &Cq) -> Result<Canonical, VqdError> {
+    if &q.schema != views.as_view_set().input_schema() {
+        return Err(VqdError::SchemaMismatch {
+            context: "canonical: query schema must match the views' input schema",
+            expected: format!("{:?}", views.as_view_set().input_schema()),
+            found: format!("{:?}", q.schema),
+        });
+    }
+    let invalid = |message: &str| VqdError::InvalidInput {
+        context: "canonical",
+        message: message.to_string(),
+    };
+    if q.language() != CqLang::Cq {
+        return Err(invalid(
+            "canonical rewriting is defined for plain CQs (Theorem 3.3)",
+        ));
+    }
+    if q.atoms.is_empty() {
+        return Err(invalid("query body must be non-empty"));
+    }
+    if !q.is_safe() {
+        return Err(invalid("query must be safe"));
+    }
     let mut nulls = NullGen::new();
     let (frozen_query, frozen_head, _) =
         freeze(q, &mut nulls).expect("plain CQ freezing cannot fail");
@@ -94,7 +114,7 @@ pub fn canonical(views: &CqViews, q: &Cq) -> Canonical {
         .map(|&v| term_of(v, &mut q_v, &mut var_of))
         .collect();
 
-    Canonical { frozen_query, frozen_head, s, q_v, nulls }
+    Ok(Canonical { frozen_query, frozen_head, s, q_v, nulls })
 }
 
 /// The Proposition 3.5(iii) membership test: `x̄ ∈ Q(V_∅^{-1}(S))`.
@@ -103,11 +123,30 @@ pub fn canonical(views: &CqViews, q: &Cq) -> Canonical {
 /// (finite or infinite) instances, **iff** `Q_V` is an exact CQ rewriting.
 /// Returns the chased instance too, for inspection.
 pub fn proposition_3_5_test(views: &CqViews, can: &Canonical, q: &Cq) -> (bool, Instance) {
+    match proposition_3_5_test_budgeted(views, can, q, &Budget::unlimited()) {
+        Ok(r) => r,
+        Err(e) => panic!("proposition_3_5_test: {e}"),
+    }
+}
+
+/// Budgeted [`proposition_3_5_test`]: the chase draws on `budget`; an
+/// exhaustion mid-chase surfaces as `Err(VqdError::Exhausted)` rather
+/// than a wrong membership answer.
+pub fn proposition_3_5_test_budgeted(
+    views: &CqViews,
+    can: &Canonical,
+    q: &Cq,
+    budget: &Budget,
+) -> Result<(bool, Instance), VqdError> {
     let mut nulls = can.nulls.clone();
     let empty = Instance::empty(views.as_view_set().input_schema());
-    let d_prime = v_inverse(views, &empty, &can.s, &mut nulls);
+    let d_prime = v_inverse_budgeted(views, &empty, &can.s, &mut nulls, budget)?;
+    budget.checkpoint_with(&format_args!(
+        "chased canonical instance to {} tuples, membership test pending",
+        d_prime.total_tuples()
+    ))?;
     let holds = eval_cq(q, &d_prime).contains(&can.frozen_head);
-    (holds, d_prime)
+    Ok((holds, d_prime))
 }
 
 #[cfg(test)]
@@ -236,7 +275,8 @@ mod tests {
         assert!(ok);
         // Prop 3.5(i): Q_V ∘ V has frozen body V_∅^{-1}(S); so the CQ with
         // that frozen body must be equivalent to Q.
-        let (unfolded, _) = crate::unfreeze_instance(&d_prime, &can.frozen_head, &q.schema);
+        let (unfolded, _) =
+            crate::unfreeze_instance(&d_prime, &can.frozen_head, &q.schema).unwrap();
         assert!(cq_equivalent(&unfolded, &q));
     }
 }

@@ -12,6 +12,7 @@
 //! `S`, and the membership form also covers zero-ary (Boolean) views and
 //! the base case `D = ∅`, so we trigger on `ȳ ∉ S(V)`.
 
+use vqd_budget::{Budget, VqdError};
 use vqd_eval::{apply_views, freeze};
 use vqd_instance::{Instance, NullGen, Value};
 use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
@@ -28,26 +29,37 @@ impl CqViews {
     ///
     /// # Panics
     /// Panics unless every view is a plain CQ (no `=`, `≠`, `¬`) with a
-    /// non-empty, safe body.
+    /// non-empty, safe body. [`CqViews::try_new`] reports the violation
+    /// as a [`VqdError`] instead.
     pub fn new(views: ViewSet) -> Self {
+        match CqViews::try_new(views) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validates and wraps a view set, reporting the first violation of
+    /// the Section 3 hypotheses as a structured error.
+    pub fn try_new(views: ViewSet) -> Result<Self, VqdError> {
+        let invalid = |message: String| VqdError::InvalidInput {
+            context: "CqViews",
+            message,
+        };
         for v in views.views() {
             let QueryExpr::Cq(cq) = &v.query else {
-                panic!("CqViews: view `{}` is not a single CQ", v.name);
+                return Err(invalid(format!("view `{}` is not a single CQ", v.name)));
             };
-            assert_eq!(
-                cq.language(),
-                CqLang::Cq,
-                "CqViews: view `{}` uses CQ extensions",
-                v.name
-            );
-            assert!(
-                !cq.atoms.is_empty(),
-                "CqViews: view `{}` has an empty body",
-                v.name
-            );
-            assert!(cq.is_safe(), "CqViews: view `{}` is unsafe", v.name);
+            if cq.language() != CqLang::Cq {
+                return Err(invalid(format!("view `{}` uses CQ extensions", v.name)));
+            }
+            if cq.atoms.is_empty() {
+                return Err(invalid(format!("view `{}` has an empty body", v.name)));
+            }
+            if !cq.is_safe() {
+                return Err(invalid(format!("view `{}` is unsafe", v.name)));
+            }
         }
-        CqViews { views }
+        Ok(CqViews { views })
     }
 
     /// The underlying view set.
@@ -85,25 +97,49 @@ impl CqViews {
 ///
 /// # Panics
 /// Panics if `s_prime` is not over the views' output schema or `base` is
-/// not over their input schema.
+/// not over their input schema. [`v_inverse_budgeted`] reports these as
+/// structured errors and honours a resource budget.
 pub fn v_inverse(
     views: &CqViews,
     base: &Instance,
     s_prime: &Instance,
     nulls: &mut NullGen,
 ) -> Instance {
-    assert_eq!(
-        s_prime.schema(),
-        views.as_view_set().output_schema(),
-        "v_inverse: S' must be over the view output schema"
-    );
-    assert_eq!(
-        base.schema(),
-        views.as_view_set().input_schema(),
-        "v_inverse: base must be over the view input schema"
-    );
+    match v_inverse_budgeted(views, base, s_prime, nulls, &Budget::unlimited()) {
+        Ok(out) => out,
+        Err(e) => panic!("v_inverse: {e}"),
+    }
+}
+
+/// Budgeted [`v_inverse`]: one [`Budget::checkpoint`] per chased view
+/// tuple, tuples charged for every fact the chase materializes. On
+/// exhaustion the chase stops cleanly mid-way — `nulls` stays valid (it
+/// only ever moves forward), so the caller can retry with a larger
+/// budget.
+pub fn v_inverse_budgeted(
+    views: &CqViews,
+    base: &Instance,
+    s_prime: &Instance,
+    nulls: &mut NullGen,
+    budget: &Budget,
+) -> Result<Instance, VqdError> {
+    if s_prime.schema() != views.as_view_set().output_schema() {
+        return Err(VqdError::SchemaMismatch {
+            context: "v_inverse (S' must be over the view output schema)",
+            expected: format!("{:?}", views.as_view_set().output_schema()),
+            found: format!("{:?}", s_prime.schema()),
+        });
+    }
+    if base.schema() != views.as_view_set().input_schema() {
+        return Err(VqdError::SchemaMismatch {
+            context: "v_inverse (base must be over the view input schema)",
+            expected: format!("{:?}", views.as_view_set().input_schema()),
+            found: format!("{:?}", base.schema()),
+        });
+    }
     let s = views.apply(base);
     let mut out = base.clone();
+    let mut chased = 0usize;
     for (i, _) in views.as_view_set().views().iter().enumerate() {
         let rel = views.as_view_set().output_rel(i);
         let view_cq = views.cq(i);
@@ -111,10 +147,23 @@ pub fn v_inverse(
             if s.rel(rel).contains(tuple) {
                 continue;
             }
+            budget.checkpoint_with(&format_args!(
+                "chase reached {} tuples after chasing {chased} view tuples",
+                out.total_tuples()
+            ))?;
+            let before = out.total_tuples();
             chase_tuple(view_cq, tuple, &mut out, nulls);
+            chased += 1;
+            budget.charge_tuples(
+                (out.total_tuples() - before) as u64,
+                &format_args!(
+                    "chase reached {} tuples after chasing {chased} view tuples",
+                    out.total_tuples()
+                ),
+            )?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Adds `α_ȳ([Q_V])` to `out` for one view tuple `ȳ`.

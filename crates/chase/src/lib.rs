@@ -16,11 +16,12 @@ pub mod canonical;
 pub mod inverse;
 pub mod tower;
 
-pub use canonical::{canonical, proposition_3_5_test, Canonical};
-pub use inverse::{v_inverse, CqViews};
+pub use canonical::{canonical, proposition_3_5_test, proposition_3_5_test_budgeted, try_canonical, Canonical};
+pub use inverse::{v_inverse, v_inverse_budgeted, CqViews};
 pub use tower::{InvariantReport, Tower};
 
 use std::collections::BTreeMap;
+use vqd_budget::VqdError;
 use vqd_instance::{Instance, Schema, Value};
 use vqd_query::{Atom, Cq, Term, VarId};
 
@@ -29,13 +30,21 @@ use vqd_query::{Atom, Cq, Term, VarId};
 /// named constants. `head` values are translated the same way and become
 /// the query head.
 ///
-/// Returns the query and the null→variable map.
+/// Returns the query and the null→variable map. A schema mismatch
+/// between `inst` and `schema` is reported as a structured error (this
+/// used to be an `assert!`).
 pub fn unfreeze_instance(
     inst: &Instance,
     head: &[Value],
     schema: &Schema,
-) -> (Cq, BTreeMap<Value, VarId>) {
-    assert_eq!(inst.schema(), schema, "unfreeze_instance: schema mismatch");
+) -> Result<(Cq, BTreeMap<Value, VarId>), VqdError> {
+    if inst.schema() != schema {
+        return Err(VqdError::SchemaMismatch {
+            context: "unfreeze_instance",
+            expected: format!("{schema:?}"),
+            found: format!("{:?}", inst.schema()),
+        });
+    }
     let mut q = Cq::new(schema);
     let mut var_of: BTreeMap<Value, VarId> = BTreeMap::new();
     let term_of = |v: Value, q: &mut Cq, var_of: &mut BTreeMap<Value, VarId>| match v {
@@ -56,7 +65,7 @@ pub fn unfreeze_instance(
         .iter()
         .map(|&v| term_of(v, &mut q, &mut var_of))
         .collect();
-    (q, var_of)
+    Ok((q, var_of))
 }
 
 #[cfg(test)]
@@ -76,8 +85,19 @@ mod tests {
         q.atom("P", vec![y.into()]);
         let mut nulls = NullGen::new();
         let (inst, head, _) = freeze(&q, &mut nulls).unwrap();
-        let (q2, _) = unfreeze_instance(&inst, &head, &schema);
+        let (q2, _) = unfreeze_instance(&inst, &head, &schema).unwrap();
         assert!(cq_equivalent(&q, &q2));
+    }
+
+    #[test]
+    fn unfreeze_rejects_schema_mismatch() {
+        let schema = Schema::new([("E", 2)]);
+        let other = Schema::new([("P", 1)]);
+        let inst = Instance::empty(&schema);
+        assert!(matches!(
+            unfreeze_instance(&inst, &[], &other),
+            Err(VqdError::SchemaMismatch { context: "unfreeze_instance", .. })
+        ));
     }
 
     #[test]
@@ -85,7 +105,7 @@ mod tests {
         let schema = Schema::new([("E", 2)]);
         let mut inst = Instance::empty(&schema);
         inst.insert_named("E", vec![vqd_instance::named(5), vqd_instance::null(0)]);
-        let (q, map) = unfreeze_instance(&inst, &[vqd_instance::null(0)], &schema);
+        let (q, map) = unfreeze_instance(&inst, &[vqd_instance::null(0)], &schema).unwrap();
         assert_eq!(q.arity(), 1);
         assert_eq!(map.len(), 1);
         assert!(q.atoms[0].args[0].as_const().is_some());

@@ -15,8 +15,9 @@
 //! finite prefixes of the tower and machine-checks the five invariants of
 //! Proposition 3.6 at every level.
 
-use crate::canonical::{canonical, Canonical};
-use crate::inverse::{v_inverse, CqViews};
+use crate::canonical::{try_canonical, Canonical};
+use crate::inverse::{v_inverse_budgeted, CqViews};
+use vqd_budget::{Budget, VqdError};
 use vqd_eval::{eval_cq, instance_hom};
 use vqd_instance::{Instance, NullGen, Value};
 use vqd_query::Cq;
@@ -88,21 +89,30 @@ impl InvariantReport {
 impl Tower {
     /// Builds the base level from CQ views and a CQ query.
     pub fn new(views: &CqViews, q: &Cq) -> Tower {
-        let can: Canonical = canonical(views, q);
+        match Tower::try_new(views, q, &Budget::unlimited()) {
+            Ok(t) => t,
+            Err(e) => panic!("Tower::new: {e}"),
+        }
+    }
+
+    /// Budgeted, fallible [`Tower::new`]: the base-level chase draws on
+    /// `budget`; hypothesis violations and exhaustion become errors.
+    pub fn try_new(views: &CqViews, q: &Cq, budget: &Budget) -> Result<Tower, VqdError> {
+        let can: Canonical = try_canonical(views, q)?;
         let mut nulls = can.nulls.clone();
         let empty_in = Instance::empty(views.as_view_set().input_schema());
         let d0 = can.frozen_query.clone();
         let s0 = can.s.clone();
         let sp0 = Instance::empty(views.as_view_set().output_schema());
-        let dp0 = v_inverse(views, &empty_in, &s0, &mut nulls);
-        Tower {
+        let dp0 = v_inverse_budgeted(views, &empty_in, &s0, &mut nulls, budget)?;
+        Ok(Tower {
             d: vec![d0],
             s: vec![s0],
             s_prime: vec![sp0],
             d_prime: vec![dp0],
             head: can.frozen_head,
             nulls,
-        }
+        })
     }
 
     /// Number of materialized levels.
@@ -112,15 +122,34 @@ impl Tower {
 
     /// Materializes one more level.
     pub fn step(&mut self, views: &CqViews) {
+        if let Err(e) = self.try_step(views, &Budget::unlimited()) {
+            panic!("Tower::step: {e}");
+        }
+    }
+
+    /// Budgeted [`Tower::step`]. On exhaustion no partial level is
+    /// pushed: the tower stays at its previous (consistent) height, so
+    /// the caller can report progress and retry with a larger budget.
+    pub fn try_step(&mut self, views: &CqViews, budget: &Budget) -> Result<(), VqdError> {
         let k = self.levels() - 1;
+        budget.checkpoint_with(&format_args!(
+            "tower at {} levels ({} tuples in D_{k})",
+            self.levels(),
+            self.d[k].total_tuples()
+        ))?;
+        // Chase into temporaries first; commit all-or-nothing so an
+        // exhaustion mid-level cannot leave the four chains ragged.
+        let mut nulls = self.nulls.clone();
         let sp_next = views.apply(&self.d_prime[k]);
-        let d_next = v_inverse(views, &self.d[k], &sp_next, &mut self.nulls);
+        let d_next = v_inverse_budgeted(views, &self.d[k], &sp_next, &mut nulls, budget)?;
         let s_next = views.apply(&d_next);
-        let dp_next = v_inverse(views, &self.d_prime[k], &sp_next, &mut self.nulls);
+        let dp_next = v_inverse_budgeted(views, &self.d_prime[k], &sp_next, &mut nulls, budget)?;
+        self.nulls = nulls;
         self.s_prime.push(sp_next);
         self.d.push(d_next);
         self.s.push(s_next);
         self.d_prime.push(dp_next);
+        Ok(())
     }
 
     /// Materializes levels until `target` levels exist.
@@ -128,6 +157,21 @@ impl Tower {
         while self.levels() < target {
             self.step(views);
         }
+    }
+
+    /// Budgeted [`Tower::grow_to`]: stops cleanly at the first level
+    /// that exceeds the budget, leaving every fully-materialized level
+    /// intact and usable.
+    pub fn try_grow_to(
+        &mut self,
+        views: &CqViews,
+        target: usize,
+        budget: &Budget,
+    ) -> Result<(), VqdError> {
+        while self.levels() < target {
+            self.try_step(views, budget)?;
+        }
+        Ok(())
     }
 
     /// Checks the Proposition 3.6 invariants at level `k`

@@ -149,6 +149,12 @@ pub fn analyze(views: &ViewSet, q: &QueryExpr, opts: AnalyzeOptions) -> Analysis
                 notes.push(format!("domain {n} exceeds the space limit; search stopped"));
                 break;
             }
+            // Unreachable with the unlimited budget `check_exhaustive`
+            // uses, but a budgeted analyze entry point would stop here.
+            SemanticVerdict::Exhausted(e) => {
+                notes.push(format!("search stopped by resource budget: {e}"));
+                break;
+            }
         }
     }
     Analysis {

@@ -5,6 +5,12 @@ pub mod parallel;
 pub mod semantic;
 pub mod unrestricted;
 
-pub use parallel::check_exhaustive_parallel;
-pub use semantic::{check_exhaustive, check_random, verify_counterexample, Counterexample, SemanticVerdict};
-pub use unrestricted::{decide_finite, decide_unrestricted, FiniteVerdict, UnrestrictedOutcome};
+pub use parallel::{check_exhaustive_parallel, check_exhaustive_parallel_budgeted};
+pub use semantic::{
+    check_exhaustive, check_exhaustive_budgeted, check_random, check_random_budgeted,
+    verify_counterexample, Counterexample, SemanticVerdict,
+};
+pub use unrestricted::{
+    decide_finite, decide_finite_budgeted, decide_unrestricted, decide_unrestricted_budgeted,
+    FiniteVerdict, UnrestrictedOutcome,
+};

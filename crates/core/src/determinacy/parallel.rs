@@ -4,90 +4,161 @@
 //! views, evaluate the query — is embarrassingly parallel once the
 //! enumeration is random-access ([`vqd_instance::gen::instance_at`]).
 //! Workers scan disjoint index ranges building local `image → answer`
-//! maps; a merge pass compares overlapping images across workers. A
-//! found counterexample short-circuits everything through a shared flag.
+//! maps; a merge pass compares overlapping images across workers.
+//!
+//! All workers draw down clones of one shared [`Budget`]: a found
+//! counterexample short-circuits the scan through the budget's
+//! [`CancelToken`](vqd_budget::CancelToken) (the same token an external
+//! caller can trip to abort the whole check), and a budget trip in any
+//! worker surfaces as a single [`SemanticVerdict::Exhausted`] after all
+//! workers have parked cleanly — no worker is ever detached or killed.
 //!
 //! This is the "many cores vs. exponential wall" ablation for figure F4:
 //! parallelism buys a constant factor against a `2^(n^k)` space — the
 //! paper's decision procedures remain the only real way out.
 
 use crate::determinacy::semantic::{Counterexample, SemanticVerdict};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use vqd_budget::{Budget, ExhaustReason, Exhausted, VqdError};
 use vqd_eval::{apply_views, eval_query};
 use vqd_instance::gen::{instance_at, space_size};
 use vqd_instance::{Instance, Relation};
 use vqd_query::{QueryExpr, ViewSet};
 
+/// Locks a mutex, recovering the data if a previous holder panicked.
+/// Workers contain no panicking paths, but governance demands that even
+/// an unexpected one cannot poison the verdict channel.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Parallel variant of
 /// [`check_exhaustive`](crate::determinacy::semantic::check_exhaustive):
-/// same contract, `threads`-way parallel scan.
+/// same contract, `threads`-way parallel scan, unlimited budget.
 pub fn check_exhaustive_parallel(
     views: &ViewSet,
     q: &QueryExpr,
     n: usize,
     limit: u128,
     threads: usize,
-) -> SemanticVerdict {
-    assert!(threads >= 1);
+) -> Result<SemanticVerdict, VqdError> {
+    check_exhaustive_parallel_budgeted(views, q, n, limit, threads, &Budget::unlimited())
+}
+
+/// Budgeted `threads`-way exhaustive scan.
+///
+/// Every worker clones `budget`, so step/tuple limits apply to the
+/// *total* work across workers, and cancelling the budget's token stops
+/// all of them at their next checkpoint. A definitive counterexample
+/// always wins over exhaustion: if one worker refutes determinacy while
+/// another trips the budget, the verdict is `NotDetermined`.
+pub fn check_exhaustive_parallel_budgeted(
+    views: &ViewSet,
+    q: &QueryExpr,
+    n: usize,
+    limit: u128,
+    threads: usize,
+    budget: &Budget,
+) -> Result<SemanticVerdict, VqdError> {
+    if threads == 0 {
+        return Err(VqdError::InvalidInput {
+            context: "check_exhaustive_parallel",
+            message: "thread count must be at least 1".to_string(),
+        });
+    }
     let schema = views.input_schema();
-    assert_eq!(q.schema(), schema, "query schema must match view input schema");
+    if q.schema() != schema {
+        return Err(VqdError::SchemaMismatch {
+            context: "check_exhaustive_parallel",
+            expected: format!("{schema:?}"),
+            found: format!("{:?}", q.schema()),
+        });
+    }
     let total = match space_size(schema, n) {
         Some(s) if s <= limit => s,
-        space => return SemanticVerdict::TooLarge { domain: n, space },
+        space => return Ok(SemanticVerdict::TooLarge { domain: n, space }),
     };
     let found: Mutex<Option<Counterexample>> = Mutex::new(None);
-    let stop = AtomicBool::new(false);
+    let tripped: Mutex<Option<Exhausted>> = Mutex::new(None);
+    let cancel = budget.cancel_token();
 
     let chunk = total.div_ceil(threads as u128);
-    let maps: Vec<HashMap<Instance, (Instance, Relation)>> =
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let found = &found;
-                let stop = &stop;
-                handles.push(scope.spawn(move |_| {
-                    let lo = chunk * t as u128;
-                    let hi = total.min(lo + chunk);
-                    let mut local: HashMap<Instance, (Instance, Relation)> = HashMap::new();
-                    let mut i = lo;
-                    while i < hi {
-                        if i.is_multiple_of(256) && stop.load(Ordering::Relaxed) {
-                            break;
+    let maps: Vec<HashMap<Instance, (Instance, Relation)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let found = &found;
+            let tripped = &tripped;
+            let cancel = &cancel;
+            let worker_budget = budget.clone();
+            handles.push(scope.spawn(move || {
+                let lo = chunk * t as u128;
+                let hi = total.min(lo + chunk);
+                let mut local: HashMap<Instance, (Instance, Relation)> = HashMap::new();
+                let mut i = lo;
+                while i < hi {
+                    if let Err(e) = worker_budget.checkpoint_with(&format_args!(
+                        "worker {t} scanned up to index {i} of [{lo}, {hi}) \
+                         over domain {n}, no counterexample"
+                    )) {
+                        // A cancellation *caused by* a sibling's find or
+                        // trip is not itself news; first trip wins.
+                        let mut slot = lock_unpoisoned(tripped);
+                        if slot.is_none() {
+                            *slot = Some(e);
                         }
-                        let d = instance_at(schema, n, i);
-                        let image = apply_views(views, &d);
-                        let out = eval_query(q, &d);
-                        match local.get(&image) {
-                            None => {
-                                local.insert(image, (d, out));
-                            }
-                            Some((d1, q1)) => {
-                                if *q1 != out {
-                                    *found.lock() = Some(Counterexample {
-                                        d1: d1.clone(),
-                                        d2: d,
-                                        image,
-                                        q1: q1.clone(),
-                                        q2: out,
-                                    });
-                                    stop.store(true, Ordering::Relaxed);
-                                    break;
-                                }
-                            }
-                        }
-                        i += 1;
+                        cancel.cancel();
+                        break;
                     }
-                    local
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        })
-        .expect("thread scope");
+                    let d = instance_at(schema, n, i);
+                    let image = apply_views(views, &d);
+                    let out = eval_query(q, &d);
+                    match local.get(&image) {
+                        None => {
+                            local.insert(image, (d, out));
+                        }
+                        Some((d1, q1)) => {
+                            if *q1 != out {
+                                *lock_unpoisoned(found) = Some(Counterexample {
+                                    d1: d1.clone(),
+                                    d2: d,
+                                    image,
+                                    q1: q1.clone(),
+                                    q2: out,
+                                });
+                                cancel.cancel();
+                                break;
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            // The Err arm is unreachable: workers have no panicking paths.
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
 
-    if let Some(c) = found.into_inner() {
-        return SemanticVerdict::NotDetermined(Box::new(c));
+    if let Some(c) = found.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Ok(SemanticVerdict::NotDetermined(Box::new(c)));
+    }
+    if let Some(e) = tripped.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        // Cancellation observed only because a sibling found/tripped is
+        // filtered above; a surviving `Canceled` here is a genuine
+        // external cancel, which is still an exhaustion to the caller.
+        debug_assert!(matches!(
+            e.reason,
+            ExhaustReason::Deadline
+                | ExhaustReason::StepLimit
+                | ExhaustReason::TupleLimit
+                | ExhaustReason::FaultInjected
+                | ExhaustReason::Canceled
+        ));
+        return Ok(SemanticVerdict::Exhausted(Box::new(e)));
     }
     // Merge pass: images seen by several workers must agree.
     let mut merged: HashMap<Instance, (Instance, Relation)> = HashMap::new();
@@ -99,19 +170,19 @@ pub fn check_exhaustive_parallel(
                 }
                 Some((d1, q1)) => {
                     if *q1 != out {
-                        return SemanticVerdict::NotDetermined(Box::new(Counterexample {
+                        return Ok(SemanticVerdict::NotDetermined(Box::new(Counterexample {
                             d1: d1.clone(),
                             d2: d,
                             image,
                             q1: q1.clone(),
                             q2: out,
-                        }));
+                        })));
                     }
                 }
             }
         }
     }
-    SemanticVerdict::NoCounterexampleUpTo(n)
+    Ok(SemanticVerdict::NoCounterexampleUpTo(n))
 }
 
 #[cfg(test)]
@@ -134,7 +205,7 @@ mod tests {
     fn parallel_agrees_with_sequential_positive() {
         let (v, q) = setup("V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
         for threads in [1, 2, 4] {
-            match check_exhaustive_parallel(&v, &q, 3, 1 << 26, threads) {
+            match check_exhaustive_parallel(&v, &q, 3, 1 << 26, threads).unwrap() {
                 SemanticVerdict::NoCounterexampleUpTo(3) => {}
                 other => panic!("threads={threads}: {other:?}"),
             }
@@ -150,7 +221,7 @@ mod tests {
         let seq = check_exhaustive(&v, &q, 3, 1 << 26);
         assert!(seq.is_refuted());
         for threads in [1, 2, 4] {
-            match check_exhaustive_parallel(&v, &q, 3, 1 << 26, threads) {
+            match check_exhaustive_parallel(&v, &q, 3, 1 << 26, threads).unwrap() {
                 SemanticVerdict::NotDetermined(c) => {
                     assert!(verify_counterexample(&v, &q, &c));
                 }
@@ -163,8 +234,63 @@ mod tests {
     fn parallel_respects_space_limit() {
         let (v, q) = setup("V(x,y) :- E(x,y).", "Q(x,y) :- E(x,y).");
         assert!(matches!(
-            check_exhaustive_parallel(&v, &q, 5, 100, 2),
+            check_exhaustive_parallel(&v, &q, 5, 100, 2).unwrap(),
             SemanticVerdict::TooLarge { .. }
         ));
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error_not_a_panic() {
+        let (v, _) = setup("V(x,y) :- E(x,y).", "Q(x,y) :- E(x,y).");
+        let other_schema = Schema::new([("P", 1)]);
+        let mut names = DomainNames::new();
+        let q = parse_query(&other_schema, &mut names, "Q(x) :- P(x).").unwrap();
+        match check_exhaustive_parallel(&v, &q, 2, 1 << 20, 2) {
+            Err(VqdError::SchemaMismatch { context, .. }) => {
+                assert_eq!(context, "check_exhaustive_parallel");
+            }
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_an_error() {
+        let (v, q) = setup("V(x,y) :- E(x,y).", "Q(x,y) :- E(x,y).");
+        assert!(matches!(
+            check_exhaustive_parallel(&v, &q, 2, 1 << 20, 0),
+            Err(VqdError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_trip_yields_exhausted_with_progress() {
+        let (v, q) = setup("V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
+        let budget = Budget::unlimited().with_step_limit(10);
+        match check_exhaustive_parallel_budgeted(&v, &q, 3, 1 << 26, 2, &budget).unwrap() {
+            SemanticVerdict::Exhausted(e) => {
+                assert_eq!(e.reason, ExhaustReason::StepLimit);
+                assert!(e.work_done.steps > 0);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        // Retrying with a sufficient budget completes.
+        let big = Budget::unlimited().with_step_limit(1 << 20);
+        match check_exhaustive_parallel_budgeted(&v, &q, 3, 1 << 26, 2, &big).unwrap() {
+            SemanticVerdict::NoCounterexampleUpTo(3) => {}
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_cancel_stops_the_scan() {
+        let (v, q) = setup("V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        match check_exhaustive_parallel_budgeted(&v, &q, 3, 1 << 26, 2, &budget).unwrap() {
+            SemanticVerdict::Exhausted(e) => {
+                assert_eq!(e.reason, ExhaustReason::Canceled);
+            }
+            other => panic!("expected Exhausted(Canceled), got {other:?}"),
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! and the exponential wall they hit is measured as figure F4.
 
 use std::collections::HashMap;
+use vqd_budget::{Budget, VqdError};
 use vqd_eval::{apply_views, eval_query};
 use vqd_instance::gen::{random_instance, space_size, InstanceEnumerator};
 use vqd_instance::{Instance, Relation};
@@ -52,6 +53,10 @@ pub enum SemanticVerdict {
         /// `∏_R 2^(n^arity)`, if it fits in `u128`.
         space: Option<u128>,
     },
+    /// The resource budget tripped mid-scan: inconclusive, but the
+    /// payload records how far the scan got (graceful degradation; retry
+    /// with a larger budget to make strictly more progress).
+    Exhausted(Box<vqd_budget::Exhausted>),
 }
 
 impl SemanticVerdict {
@@ -59,44 +64,92 @@ impl SemanticVerdict {
     pub fn is_refuted(&self) -> bool {
         matches!(self, SemanticVerdict::NotDetermined(_))
     }
+
+    /// Whether this verdict is conclusive for bound `n` (either a
+    /// counterexample or a completed scan — not `TooLarge`/`Exhausted`).
+    pub fn is_conclusive(&self) -> bool {
+        matches!(
+            self,
+            SemanticVerdict::NotDetermined(_) | SemanticVerdict::NoCounterexampleUpTo(_)
+        )
+    }
 }
 
 /// Exhaustively checks determinacy over all instances with values in
 /// `{c0..c(n-1)}`. `limit` caps the number of instances enumerated.
+///
+/// Convenience wrapper over [`check_exhaustive_budgeted`] with an
+/// unlimited budget; panics on schema mismatch (the budgeted variant
+/// returns a structured [`VqdError`] instead).
 pub fn check_exhaustive(
     views: &ViewSet,
     q: &QueryExpr,
     n: usize,
     limit: u128,
 ) -> SemanticVerdict {
-    let schema = views.input_schema();
-    assert_eq!(q.schema(), schema, "query schema must match view input schema");
-    match space_size(schema, n) {
-        Some(s) if s <= limit => {}
-        space => return SemanticVerdict::TooLarge { domain: n, space },
+    match check_exhaustive_budgeted(views, q, n, limit, &Budget::unlimited()) {
+        Ok(v) => v,
+        Err(e) => panic!("check_exhaustive: {e}"),
     }
+}
+
+/// Budgeted exhaustive check: one [`Budget::checkpoint`] per enumerated
+/// instance, tuples charged for every image retained in the grouping
+/// map. Invalid input (schema mismatch) is a [`VqdError`]; running out
+/// of budget is the *verdict* [`SemanticVerdict::Exhausted`], carrying
+/// how far the scan got.
+pub fn check_exhaustive_budgeted(
+    views: &ViewSet,
+    q: &QueryExpr,
+    n: usize,
+    limit: u128,
+    budget: &Budget,
+) -> Result<SemanticVerdict, VqdError> {
+    let schema = views.input_schema();
+    if q.schema() != schema {
+        return Err(VqdError::SchemaMismatch {
+            context: "check_exhaustive",
+            expected: format!("{schema:?}"),
+            found: format!("{:?}", q.schema()),
+        });
+    }
+    let total = match space_size(schema, n) {
+        Some(s) if s <= limit => s,
+        space => return Ok(SemanticVerdict::TooLarge { domain: n, space }),
+    };
     let mut by_image: HashMap<Instance, (Instance, Relation)> = HashMap::new();
-    for d in InstanceEnumerator::new(schema, n) {
+    for (i, d) in InstanceEnumerator::new(schema, n).enumerate() {
+        if let Err(e) = budget.checkpoint_with(&format_args!(
+            "scanned {i} of {total} instances over domain {n}, no counterexample"
+        )) {
+            return Ok(SemanticVerdict::Exhausted(Box::new(e)));
+        }
         let image = apply_views(views, &d);
         let out = eval_query(q, &d);
         match by_image.get(&image) {
             None => {
+                if let Err(e) = budget.charge_tuples(
+                    (d.total_tuples() + image.total_tuples()) as u64,
+                    &format_args!("scanned {i} of {total} instances over domain {n}"),
+                ) {
+                    return Ok(SemanticVerdict::Exhausted(Box::new(e)));
+                }
                 by_image.insert(image, (d, out));
             }
             Some((d1, q1)) => {
                 if *q1 != out {
-                    return SemanticVerdict::NotDetermined(Box::new(Counterexample {
+                    return Ok(SemanticVerdict::NotDetermined(Box::new(Counterexample {
                         d1: d1.clone(),
                         d2: d,
                         image,
                         q1: q1.clone(),
                         q2: out,
-                    }));
+                    })));
                 }
             }
         }
     }
-    SemanticVerdict::NoCounterexampleUpTo(n)
+    Ok(SemanticVerdict::NoCounterexampleUpTo(n))
 }
 
 /// Randomized counterexample search: samples instances, groups by image,
@@ -109,9 +162,31 @@ pub fn check_random(
     samples: usize,
     rng: &mut impl rand::Rng,
 ) -> Option<Counterexample> {
+    check_random_budgeted(views, q, n, density, samples, rng, &Budget::unlimited())
+        .unwrap_or_default()
+}
+
+/// Budgeted [`check_random`]: one checkpoint per sample. On exhaustion
+/// returns `Err` with how many samples were drawn; `Ok(None)` means the
+/// full sample count was drawn without observing a violation.
+#[allow(clippy::too_many_arguments)]
+pub fn check_random_budgeted(
+    views: &ViewSet,
+    q: &QueryExpr,
+    n: usize,
+    density: f64,
+    samples: usize,
+    rng: &mut impl rand::Rng,
+    budget: &Budget,
+) -> Result<Option<Counterexample>, Box<vqd_budget::Exhausted>> {
     let schema = views.input_schema();
     let mut by_image: HashMap<Instance, (Instance, Relation)> = HashMap::new();
-    for _ in 0..samples {
+    for drawn in 0..samples {
+        budget
+            .checkpoint_with(&format_args!(
+                "drew {drawn} of {samples} samples, no counterexample"
+            ))
+            .map_err(Box::new)?;
         let d = random_instance(schema, n, density, rng);
         let image = apply_views(views, &d);
         let out = eval_query(q, &d);
@@ -121,18 +196,18 @@ pub fn check_random(
             }
             Some((d1, q1)) => {
                 if *q1 != out {
-                    return Some(Counterexample {
+                    return Ok(Some(Counterexample {
                         d1: d1.clone(),
                         d2: d,
                         image,
                         q1: q1.clone(),
                         q2: out,
-                    });
+                    }));
                 }
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// Verifies a counterexample (used by tests and by the repro harness to

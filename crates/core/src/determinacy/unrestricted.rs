@@ -15,8 +15,9 @@
 //!   coincide for CQs is exactly the paper's open question
 //!   (Theorem 5.11).
 
-use crate::determinacy::semantic::{check_exhaustive, Counterexample, SemanticVerdict};
-use vqd_chase::{canonical, proposition_3_5_test, Canonical, CqViews};
+use crate::determinacy::semantic::{check_exhaustive_budgeted, Counterexample, SemanticVerdict};
+use vqd_budget::{Budget, VqdError};
+use vqd_chase::{proposition_3_5_test_budgeted, try_canonical, Canonical, CqViews};
 use vqd_eval::minimize_cq;
 use vqd_instance::Instance;
 use vqd_query::{Cq, QueryExpr};
@@ -90,10 +91,26 @@ impl UnrestrictedOutcome {
 /// assert_eq!(rewriting.render("R"), "R(n0,n2) :- V(n0,n1), V(n1,n2).");
 /// ```
 pub fn decide_unrestricted(views: &CqViews, q: &Cq) -> UnrestrictedOutcome {
-    let can = canonical(views, q);
-    let (determined, chased) = proposition_3_5_test(views, &can, q);
+    match decide_unrestricted_budgeted(views, q, &Budget::unlimited()) {
+        Ok(out) => out,
+        Err(e) => panic!("decide_unrestricted: {e}"),
+    }
+}
+
+/// Budgeted, fallible [`decide_unrestricted`]: hypothesis violations
+/// (non-CQ input, schema mismatch) and budget exhaustion surface as
+/// [`VqdError`]s instead of panics or hangs. Exhaustion
+/// ([`VqdError::Exhausted`]) carries the work performed, so an
+/// escalating-budget caller can retry meaningfully.
+pub fn decide_unrestricted_budgeted(
+    views: &CqViews,
+    q: &Cq,
+    budget: &Budget,
+) -> Result<UnrestrictedOutcome, VqdError> {
+    let can = try_canonical(views, q)?;
+    let (determined, chased) = proposition_3_5_test_budgeted(views, &can, q, budget)?;
     let rewriting = determined.then(|| minimize_cq(&can.q_v));
-    UnrestrictedOutcome { determined, canonical: can, chased, rewriting }
+    Ok(UnrestrictedOutcome { determined, canonical: can, chased, rewriting })
 }
 
 /// Verdict for the finite variant.
@@ -112,6 +129,18 @@ pub enum FiniteVerdict {
         /// Largest domain size exhaustively searched.
         searched_up_to: usize,
     },
+    /// The resource budget tripped before the search bound was reached —
+    /// inconclusive, with the work done recorded; retry with a larger
+    /// budget for a `Determined`/`NotDetermined`/`Open` verdict.
+    Exhausted(Box<vqd_budget::Exhausted>),
+}
+
+impl FiniteVerdict {
+    /// Whether this verdict is final for the requested bound (i.e. not a
+    /// budget exhaustion).
+    pub fn is_conclusive(&self) -> bool {
+        !matches!(self, FiniteVerdict::Exhausted(_))
+    }
 }
 
 /// Decides finite determinacy for CQ views and queries as far as theory
@@ -123,22 +152,48 @@ pub fn decide_finite(
     max_domain: usize,
     space_limit: u128,
 ) -> FiniteVerdict {
-    let unrestricted = decide_unrestricted(views, q);
+    match decide_finite_budgeted(views, q, max_domain, space_limit, &Budget::unlimited()) {
+        Ok(v) => v,
+        Err(e) => panic!("decide_finite: {e}"),
+    }
+}
+
+/// Budgeted [`decide_finite`]: the chase and every bounded exhaustive
+/// scan draw on one shared `budget`. Running out anywhere yields the
+/// verdict [`FiniteVerdict::Exhausted`]; genuinely invalid input is the
+/// only `Err`.
+pub fn decide_finite_budgeted(
+    views: &CqViews,
+    q: &Cq,
+    max_domain: usize,
+    space_limit: u128,
+    budget: &Budget,
+) -> Result<FiniteVerdict, VqdError> {
+    let unrestricted = match decide_unrestricted_budgeted(views, q, budget) {
+        Ok(out) => out,
+        Err(VqdError::Exhausted(e)) => return Ok(FiniteVerdict::Exhausted(e)),
+        Err(e) => return Err(e),
+    };
     if unrestricted.determined {
-        return FiniteVerdict::Determined(Box::new(
-            unrestricted.rewriting.expect("determined implies rewriting"),
-        ));
+        let Some(rewriting) = unrestricted.rewriting else {
+            return Err(VqdError::InvalidInput {
+                context: "decide_finite",
+                message: "determined outcome lacks a rewriting (internal invariant)".to_string(),
+            });
+        };
+        return Ok(FiniteVerdict::Determined(Box::new(rewriting)));
     }
     let qe = QueryExpr::Cq(q.clone());
     let mut searched = 0;
     for n in 1..=max_domain {
-        match check_exhaustive(views.as_view_set(), &qe, n, space_limit) {
-            SemanticVerdict::NotDetermined(c) => return FiniteVerdict::NotDetermined(c),
+        match check_exhaustive_budgeted(views.as_view_set(), &qe, n, space_limit, budget)? {
+            SemanticVerdict::NotDetermined(c) => return Ok(FiniteVerdict::NotDetermined(c)),
             SemanticVerdict::NoCounterexampleUpTo(k) => searched = k,
             SemanticVerdict::TooLarge { .. } => break,
+            SemanticVerdict::Exhausted(e) => return Ok(FiniteVerdict::Exhausted(e)),
         }
     }
-    FiniteVerdict::Open { searched_up_to: searched }
+    Ok(FiniteVerdict::Open { searched_up_to: searched })
 }
 
 #[cfg(test)]

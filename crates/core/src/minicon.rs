@@ -437,13 +437,13 @@ mod tests {
                 let mk = |rng: &mut rand::rngs::StdRng| {
                     let mut q = Cq::new(&s);
                     let vars: Vec<VarId> = (0..3).map(|i| q.var(&format!("x{i}"))).collect();
-                    for _ in 0..rng.gen_range(1..=3) {
+                    for _ in 0..rng.gen_range(1..=3usize) {
                         if rng.gen_bool(0.7) {
-                            let a = vars[rng.gen_range(0..3)];
-                            let b = vars[rng.gen_range(0..3)];
+                            let a = vars[rng.gen_range(0..3usize)];
+                            let b = vars[rng.gen_range(0..3usize)];
                             q.atoms.push(Atom::new(s.rel("E"), vec![a.into(), b.into()]));
                         } else {
-                            let a = vars[rng.gen_range(0..3)];
+                            let a = vars[rng.gen_range(0..3usize)];
                             q.atoms.push(Atom::new(s.rel("P"), vec![a.into()]));
                         }
                     }

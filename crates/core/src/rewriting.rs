@@ -19,7 +19,7 @@
 
 use crate::determinacy::unrestricted::decide_unrestricted;
 use vqd_chase::{canonical, CqViews};
-use vqd_eval::{cq_equivalent, minimize_cq, normalize_eqs, ucq_equivalent};
+use vqd_eval::{cq_equivalent, normalize_eqs, ucq_equivalent};
 use vqd_query::{Atom, Cq, CqLang, QueryExpr, Term, Ucq, VarId};
 
 /// Expands a CQ over the view schema `σ_V` into an equivalent CQ over the

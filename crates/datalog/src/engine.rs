@@ -8,6 +8,7 @@
 
 use crate::rule::{Literal, Program, Rule};
 use crate::stratify::{stratify, NotStratifiable, Stratification};
+use vqd_budget::{Budget, Exhausted, VqdError};
 use vqd_eval::{for_each_hom, Assignment, InstanceIndex, Ordering};
 use vqd_instance::{Instance, Value};
 use vqd_query::{Atom, Term};
@@ -80,12 +81,19 @@ fn fire_rule(
 }
 
 /// Saturates one stratum naively: fire all rules until no new facts.
-fn saturate_naive(rules: &[&Rule], db: &mut Instance) {
+/// Checkpoints once per rule per round; exhaustion leaves `db` at the
+/// last completed round (a sound under-approximation of the fixpoint).
+fn saturate_naive(rules: &[&Rule], db: &mut Instance, budget: &Budget) -> Result<(), Exhausted> {
+    let mut round = 0usize;
     loop {
         let mut new_facts: Vec<(vqd_instance::RelId, Vec<Value>)> = Vec::new();
         {
             let index = InstanceIndex::new(db);
             for rule in rules {
+                budget.checkpoint_with(&format_args!(
+                    "naive fixpoint at round {round}, {} facts derived",
+                    db.total_tuples()
+                ))?;
                 fire_rule(rule, db, &index, &Assignment::new(), None, &mut |fact| {
                     if !db.rel(rule.head.rel).contains(&fact) {
                         new_facts.push((rule.head.rel, fact));
@@ -95,21 +103,41 @@ fn saturate_naive(rules: &[&Rule], db: &mut Instance) {
         }
         let mut changed = false;
         for (rel, fact) in new_facts {
-            changed |= db.insert(rel, fact);
+            if db.insert(rel, fact) {
+                changed = true;
+                budget.charge_tuples(
+                    1,
+                    &format_args!(
+                        "naive fixpoint at round {round}, {} facts derived",
+                        db.total_tuples()
+                    ),
+                )?;
+            }
         }
         if !changed {
-            return;
+            return Ok(());
         }
+        round += 1;
     }
 }
 
-/// Saturates one stratum semi-naively.
-fn saturate_semi_naive(rules: &[&Rule], db: &mut Instance) {
+/// Saturates one stratum semi-naively. Checkpoints once per delta fact
+/// considered; on exhaustion `db` holds every fully-applied delta round
+/// (a sound under-approximation of the fixpoint).
+fn saturate_semi_naive(
+    rules: &[&Rule],
+    db: &mut Instance,
+    budget: &Budget,
+) -> Result<(), Exhausted> {
     // Round 0: a full naive pass collecting the initial delta.
     let mut delta = Instance::empty(db.schema());
     {
         let index = InstanceIndex::new(db);
         for rule in rules {
+            budget.checkpoint_with(&format_args!(
+                "semi-naive round 0, {} facts derived",
+                db.total_tuples()
+            ))?;
             let mut emit = |fact: Vec<Value>| {
                 if !db.rel(rule.head.rel).contains(&fact) {
                     delta.insert(rule.head.rel, fact);
@@ -118,7 +146,15 @@ fn saturate_semi_naive(rules: &[&Rule], db: &mut Instance) {
             fire_rule(rule, db, &index, &Assignment::new(), None, &mut emit);
         }
     }
+    let mut round = 1usize;
     while !delta.is_empty() {
+        budget.charge_tuples(
+            delta.total_tuples() as u64,
+            &format_args!(
+                "semi-naive round {round}, {} facts derived",
+                db.total_tuples()
+            ),
+        )?;
         db.union_with(&delta);
         let mut next_delta = Instance::empty(db.schema());
         let index = InstanceIndex::new(db);
@@ -129,6 +165,10 @@ fn saturate_semi_naive(rules: &[&Rule], db: &mut Instance) {
                 // older than the delta are handled by other positions or
                 // earlier rounds.
                 for t in delta.rel(atom.rel).iter() {
+                    budget.checkpoint_with(&format_args!(
+                        "semi-naive round {round}, {} facts derived",
+                        db.total_tuples()
+                    ))?;
                     let Some(fixed) = match_atom(atom, t) else {
                         continue;
                     };
@@ -142,7 +182,9 @@ fn saturate_semi_naive(rules: &[&Rule], db: &mut Instance) {
             }
         }
         delta = next_delta;
+        round += 1;
     }
+    Ok(())
 }
 
 /// Evaluation strategy selector (F7 ablation).
@@ -181,17 +223,103 @@ pub fn eval_program(
     edb: &Instance,
     strategy: Strategy,
 ) -> Result<Instance, NotStratifiable> {
-    assert_eq!(edb.schema(), &p.schema, "eval_program: instance schema mismatch");
-    let Stratification { rule_layers, .. } = stratify(p)?;
+    match eval_program_budgeted(p, edb, strategy, &Budget::unlimited()) {
+        Ok(db) => Ok(db),
+        Err(EvalError::NotStratifiable(e)) => Err(e),
+        Err(e) => panic!("eval_program: {e}"),
+    }
+}
+
+/// Error type of [`eval_program_budgeted`].
+#[derive(Clone, Debug)]
+pub enum EvalError {
+    /// The program recurses through negation.
+    NotStratifiable(NotStratifiable),
+    /// The EDB instance is not over the program's schema.
+    SchemaMismatch {
+        /// The program's schema.
+        expected: String,
+        /// The instance's schema.
+        found: String,
+    },
+    /// The budget tripped mid-fixpoint. `partial` is every fact derived
+    /// in completed rounds — a sound under-approximation of the fixpoint
+    /// for the monotone strata evaluated so far.
+    Exhausted {
+        /// Facts derived before the trip (includes the EDB).
+        partial: Box<Instance>,
+        /// What tripped and how much work was done.
+        info: Box<Exhausted>,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::NotStratifiable(e) => write!(f, "{e:?}"),
+            EvalError::SchemaMismatch { expected, found } => write!(
+                f,
+                "eval_program: instance schema mismatch (program over {expected}, instance over {found})"
+            ),
+            EvalError::Exhausted { partial, info } => write!(
+                f,
+                "{info} (partial fixpoint holds {} facts)",
+                partial.total_tuples()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<EvalError> for VqdError {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::NotStratifiable(ns) => VqdError::NotStratifiable(format!("{ns:?}")),
+            EvalError::SchemaMismatch { expected, found } => VqdError::SchemaMismatch {
+                context: "eval_program",
+                expected,
+                found,
+            },
+            EvalError::Exhausted { info, .. } => VqdError::Exhausted(info),
+        }
+    }
+}
+
+/// Budgeted [`eval_program`]: the fixpoint draws on `budget` (one
+/// checkpoint per rule/delta-fact application, tuples charged per
+/// derived fact). On exhaustion, [`EvalError::Exhausted`] carries the
+/// partially saturated instance — every fact in it is genuinely
+/// derivable, the fixpoint is just not known to be complete.
+pub fn eval_program_budgeted(
+    p: &Program,
+    edb: &Instance,
+    strategy: Strategy,
+    budget: &Budget,
+) -> Result<Instance, EvalError> {
+    if edb.schema() != &p.schema {
+        return Err(EvalError::SchemaMismatch {
+            expected: format!("{:?}", p.schema),
+            found: format!("{:?}", edb.schema()),
+        });
+    }
+    let Stratification { rule_layers, .. } =
+        stratify(p).map_err(EvalError::NotStratifiable)?;
     let mut db = edb.clone();
     for layer in &rule_layers {
         let rules: Vec<&Rule> = layer.iter().map(|&i| &p.rules[i]).collect();
         if rules.is_empty() {
             continue;
         }
-        match strategy {
-            Strategy::Naive => saturate_naive(&rules, &mut db),
-            Strategy::SemiNaive => saturate_semi_naive(&rules, &mut db),
+        let saturated = match strategy {
+            Strategy::Naive => saturate_naive(&rules, &mut db, budget),
+            Strategy::SemiNaive => saturate_semi_naive(&rules, &mut db, budget),
+        };
+        if let Err(info) = saturated {
+            return Err(EvalError::Exhausted {
+                partial: Box::new(db),
+                info: Box::new(info),
+            });
         }
     }
     Ok(db)

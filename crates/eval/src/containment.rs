@@ -16,6 +16,7 @@
 
 use crate::cq_eval::{eval_cq, eval_ucq, normalize_eqs};
 use std::collections::BTreeMap;
+use vqd_budget::Budget;
 use vqd_instance::{Instance, NullGen, Value};
 use vqd_query::{Cq, CqLang, Term, Ucq, VarId};
 
@@ -123,6 +124,9 @@ pub enum BoundedContainment {
     NoCounterexampleUpTo(usize),
     /// The instance space exceeds the supplied limit.
     TooLarge,
+    /// The resource budget tripped mid-enumeration (how far it got is
+    /// in the payload); retry with a larger budget.
+    Exhausted(Box<vqd_budget::Exhausted>),
 }
 
 /// Semantic containment check by exhaustive enumeration: sound and
@@ -134,14 +138,31 @@ pub fn contained_bounded(
     max_domain: usize,
     limit: u128,
 ) -> BoundedContainment {
+    contained_bounded_budgeted(q1, q2, max_domain, limit, &Budget::unlimited())
+}
+
+/// Budgeted [`contained_bounded`]: one [`Budget::checkpoint`] per
+/// enumerated instance; exhaustion is a verdict, not a panic.
+pub fn contained_bounded_budgeted(
+    q1: &Cq,
+    q2: &Cq,
+    max_domain: usize,
+    limit: u128,
+    budget: &Budget,
+) -> BoundedContainment {
     use vqd_instance::gen::{space_size, InstanceEnumerator};
     assert_eq!(q1.schema, q2.schema, "containment across schemas");
     assert_eq!(q1.arity(), q2.arity(), "containment across arities");
-    match space_size(&q1.schema, max_domain) {
-        Some(s) if s <= limit => {}
+    let total = match space_size(&q1.schema, max_domain) {
+        Some(s) if s <= limit => s,
         _ => return BoundedContainment::TooLarge,
-    }
-    for d in InstanceEnumerator::new(&q1.schema, max_domain) {
+    };
+    for (i, d) in InstanceEnumerator::new(&q1.schema, max_domain).enumerate() {
+        if let Err(e) = budget.checkpoint_with(&format_args!(
+            "checked containment on {i} of {total} instances, no counterexample"
+        )) {
+            return BoundedContainment::Exhausted(Box::new(e));
+        }
         if !eval_cq(q1, &d).is_subset(&eval_cq(q2, &d)) {
             return BoundedContainment::Refuted(Box::new(d));
         }

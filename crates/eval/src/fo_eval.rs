@@ -11,6 +11,7 @@
 //! padding, quantification projects.
 
 use std::collections::{BTreeSet, HashMap};
+use vqd_budget::{Budget, Exhausted};
 use vqd_instance::{Instance, Relation, Value};
 use vqd_query::{Fo, FoQuery, Term, VarId};
 
@@ -174,19 +175,57 @@ pub fn evaluation_universe(q: &FoQuery, d: &Instance) -> Vec<Value> {
 /// `universe^k` complements, which is what makes the big generated
 /// sentences (Theorem 5.1's `φ_M`, Theorem 5.4's `ψ`) tractable.
 pub fn eval_fo(q: &FoQuery, d: &Instance) -> Relation {
+    match eval_fo_budgeted(q, d, &Budget::unlimited()) {
+        Ok(r) => r,
+        Err(e) => panic!("eval_fo: {e}"),
+    }
+}
+
+/// Budgeted [`eval_fo`]: one [`Budget::checkpoint`] per evaluated
+/// subformula, tuples charged for every materialized table row. Bounds
+/// the `universe^k` blow-ups that complementation and padding can cause
+/// on big generated sentences.
+pub fn eval_fo_budgeted(
+    q: &FoQuery,
+    d: &Instance,
+    budget: &Budget,
+) -> Result<Relation, Box<Exhausted>> {
     let universe = evaluation_universe(q, d);
     let core = q.formula.nnf();
-    let table = eval_core(&core, d, &universe);
+    let table = eval_core(&core, d, &universe, budget)?;
     let aligned = table.align_to(&q.free, &universe);
     let mut out = Relation::new(q.free.len());
     for row in aligned.rows {
         out.insert(row);
     }
-    out
+    Ok(out)
 }
 
-fn eval_core(f: &Fo, d: &Instance, universe: &[Value]) -> Table {
-    match f {
+/// Budget hook shared by every [`eval_core`] return path.
+fn charge_table(t: Table, budget: &Budget) -> Result<Table, Box<Exhausted>> {
+    budget
+        .charge_tuples(
+            t.rows.len() as u64,
+            &format_args!(
+                "FO evaluation materialized a {}-column table of {} rows",
+                t.cols.len(),
+                t.rows.len()
+            ),
+        )
+        .map_err(Box::new)?;
+    Ok(t)
+}
+
+fn eval_core(
+    f: &Fo,
+    d: &Instance,
+    universe: &[Value],
+    budget: &Budget,
+) -> Result<Table, Box<Exhausted>> {
+    budget
+        .checkpoint_with(&"evaluating FO subformulas bottom-up")
+        .map_err(Box::new)?;
+    let result = match f {
         Fo::True => Table::boolean(true),
         Fo::False => Table::boolean(false),
         Fo::Atom(atom) => {
@@ -248,7 +287,7 @@ fn eval_core(f: &Fo, d: &Instance, universe: &[Value]) -> Table {
             }
         },
         Fo::Not(g) => {
-            let inner = eval_core(g, d, universe);
+            let inner = eval_core(g, d, universe, budget)?;
             // Complement against universe^cols.
             let full = Table::boolean(true).align_to(&inner.cols, universe);
             Table {
@@ -275,7 +314,7 @@ fn eval_core(f: &Fo, d: &Instance, universe: &[Value]) -> Table {
             for x in xs {
                 match x {
                     Fo::Not(g) => negatives.push(g),
-                    other => tables.push(eval_core(other, d, universe)),
+                    other => tables.push(eval_core(other, d, universe, budget)?),
                 }
             }
             // Greedy join order: start from the smallest table; repeatedly
@@ -291,7 +330,7 @@ fn eval_core(f: &Fo, d: &Instance, universe: &[Value]) -> Table {
                 let next = remaining.remove(shared_idx.unwrap_or(0));
                 acc = join(&acc, &next);
                 if acc.rows.is_empty() {
-                    return Table::empty(all_cols());
+                    return charge_table(Table::empty(all_cols()), budget);
                 }
             }
             // Apply the negative conjuncts.
@@ -299,7 +338,7 @@ fn eval_core(f: &Fo, d: &Instance, universe: &[Value]) -> Table {
                 let g_vars: Vec<VarId> = g.free_vars().into_iter().collect();
                 if g_vars.iter().all(|v| acc.col_pos(*v).is_some()) {
                     // Anti-join: drop accumulator rows matching g.
-                    let g_table = eval_core(g, d, universe);
+                    let g_table = eval_core(g, d, universe, budget)?;
                     let proj: Vec<usize> = g_table
                         .cols
                         .iter()
@@ -312,10 +351,13 @@ fn eval_core(f: &Fo, d: &Instance, universe: &[Value]) -> Table {
                 } else {
                     // Rare: a negated conjunct with unbound variables —
                     // fall back to joining its complement.
-                    acc = join(&acc, &eval_core(&Fo::Not(Box::new(g.clone())), d, universe));
+                    acc = join(
+                        &acc,
+                        &eval_core(&Fo::Not(Box::new(g.clone())), d, universe, budget)?,
+                    );
                 }
                 if acc.rows.is_empty() {
-                    return Table::empty(all_cols());
+                    return charge_table(Table::empty(all_cols()), budget);
                 }
             }
             acc
@@ -332,13 +374,13 @@ fn eval_core(f: &Fo, d: &Instance, universe: &[Value]) -> Table {
             }
             let mut out = Table::empty(cols.clone());
             for x in xs {
-                let t = eval_core(x, d, universe).align_to(&cols, universe);
+                let t = eval_core(x, d, universe, budget)?.align_to(&cols, universe);
                 out.rows.extend(t.rows);
             }
             out
         }
         Fo::Exists(vs, g) => {
-            let inner = eval_core(g, d, universe);
+            let inner = eval_core(g, d, universe, budget)?;
             // Extend with any quantified variable not present, then project
             // all of `vs` out. (Extension matters for vacuous quantification
             // over an empty universe.)
@@ -374,7 +416,7 @@ fn eval_core(f: &Fo, d: &Instance, universe: &[Value]) -> Table {
             let ex = Fo::exists(vs.clone(), negated_body);
             // Restrict to the formula's own free variables (exists
             // projection can leave extra columns ordering differences).
-            let inner = eval_core(&ex, d, universe);
+            let inner = eval_core(&ex, d, universe, budget)?;
             let full = Table::boolean(true).align_to(&inner.cols, universe);
             Table {
                 cols: inner.cols.clone(),
@@ -384,7 +426,8 @@ fn eval_core(f: &Fo, d: &Instance, universe: &[Value]) -> Table {
         Fo::Implies(..) | Fo::Iff(..) => {
             unreachable!("eval_core expects an NNF formula")
         }
-    }
+    };
+    charge_table(result, budget)
 }
 
 #[cfg(test)]

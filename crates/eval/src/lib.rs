@@ -26,11 +26,11 @@ pub mod monotone;
 pub mod view_eval;
 
 pub use containment::{
-    contained_bounded, cq_contained, cq_contained_in_ucq, cq_equivalent, freeze, ucq_contained,
-    ucq_equivalent, BoundedContainment,
+    contained_bounded, contained_bounded_budgeted, cq_contained, cq_contained_in_ucq,
+    cq_equivalent, freeze, ucq_contained, ucq_equivalent, BoundedContainment,
 };
 pub use cq_eval::{eval_cq, eval_ucq, normalize_eqs};
-pub use fo_eval::{eval_fo, evaluation_universe};
+pub use fo_eval::{eval_fo, eval_fo_budgeted, evaluation_universe};
 pub use hom::{find_hom, for_each_hom, hom_exists, instance_hom, Assignment, InstanceIndex, Ordering};
 pub use minimize::{minimize_cq, minimize_cq_exhaustive, minimize_ucq};
 pub use monotone::{find_nonmonotone_witness, monotone_on_pair, NonMonotoneWitness};

@@ -49,6 +49,12 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl From<ParseError> for vqd_budget::VqdError {
+    fn from(e: ParseError) -> Self {
+        vqd_budget::VqdError::Parse(e.to_string())
+    }
+}
+
 type PResult<T> = Result<T, ParseError>;
 
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -59,6 +59,9 @@ fn main() {
         SemanticVerdict::TooLarge { domain, space } => {
             println!("search space too large at domain {domain}: {space:?}");
         }
+        SemanticVerdict::Exhausted(e) => {
+            println!("audit stopped by resource budget: {e}");
+        }
     }
 
     // Contrast: a careless extra view that leaks.

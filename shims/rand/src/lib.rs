@@ -1,0 +1,202 @@
+//! Offline stand-in for [`rand` 0.8](https://docs.rs/rand/0.8).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the narrow slice of the rand API it actually uses:
+//! [`Rng::gen_bool`] / [`Rng::gen_range`], [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`] and [`rngs::mock::StepRng`]. `StdRng` is a SplitMix64
+//! generator — statistically ample for randomized test-case generation,
+//! and deterministic per seed, which is all the callers rely on.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (exactly never for `p = 0.0`,
+    /// always for `p = 1.0`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // 53 high bits -> uniform in [0, 1).
+        let u01 = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u01 < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // 53 high bits -> uniform in [0, 1), scaled to the span.
+                let u01 = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + u01 * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);
+
+/// Seedable construction, as in rand 0.8.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    /// Mock generators for fully deterministic tests.
+    pub mod mock {
+        use super::super::RngCore;
+
+        /// An arithmetic-progression "generator", as in `rand::rngs::mock`.
+        #[derive(Clone, Debug)]
+        pub struct StepRng {
+            v: u64,
+            step: u64,
+        }
+
+        impl StepRng {
+            /// Starts at `initial`, advancing by `increment` per draw.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng { v: initial, step: increment }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.step);
+                // Spread the counter over the full width so density-based
+                // samplers (gen_bool) see both halves of [0, 1).
+                out.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let a = rng.gen_range(0..5usize);
+            assert!(a < 5);
+            let b = rng.gen_range(1..=3u32);
+            assert!((1..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn bool_extremes_are_exact() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn step_rng_is_deterministic() {
+        let mut a = StepRng::new(42, 77);
+        let mut b = StepRng::new(42, 77);
+        let xs: Vec<bool> = (0..32).map(|_| a.gen_bool(0.5)).collect();
+        let ys: Vec<bool> = (0..32).map(|_| b.gen_bool(0.5)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().any(|&x| x) && xs.iter().any(|&x| !x));
+    }
+}

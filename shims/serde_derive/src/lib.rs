@@ -1,0 +1,16 @@
+//! No-op derive macros backing the offline `serde` shim: the derives
+//! parse (and accept `#[serde(...)]` attributes) but emit no impls.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`, generates nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`, generates nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -12,8 +12,11 @@
 //! * [`vqd_monoid`] — finite monoidal functions and the word problem;
 //! * [`vqd_turing`] — Turing machines encoded as FO sentences (Theorem 5.1);
 //! * [`vqd_core`] — determinacy checking, rewriting, and every construction
-//!   of the paper.
+//!   of the paper;
+//! * [`vqd_budget`] — resource governance: budgets, deadlines, cooperative
+//!   cancellation, and fault injection for every long-running engine.
 
+pub use vqd_budget as budget;
 pub use vqd_chase as chase;
 pub use vqd_core as core;
 pub use vqd_datalog as datalog;

@@ -1,0 +1,320 @@
+//! Fault-injection sweep over the resource-governance layer.
+//!
+//! Every long-running engine takes a [`Budget`]; this harness forces that
+//! budget to trip at *every* checkpoint an engine ever reaches and asserts
+//! the contract of graceful degradation:
+//!
+//! 1. no panic and no poisoned lock — the engine returns a structured
+//!    [`Exhausted`] outcome;
+//! 2. the outcome carries meaningful progress stats (steps completed, a
+//!    human-readable partial-progress message);
+//! 3. re-running the same call with a larger budget completes and agrees
+//!    with the unbudgeted baseline.
+
+use vqd::budget::{Budget, ExhaustReason, Exhausted, VqdError};
+use vqd::chase::{v_inverse_budgeted, CqViews, Tower};
+use vqd::core::determinacy::{
+    check_exhaustive_budgeted, check_exhaustive_parallel_budgeted, decide_finite_budgeted,
+    decide_unrestricted_budgeted, FiniteVerdict, SemanticVerdict,
+};
+use vqd::datalog::{eval_program_budgeted, EvalError, Strategy};
+use vqd::eval::{
+    apply_views, contained_bounded_budgeted, eval_fo_budgeted, BoundedContainment,
+};
+use vqd::instance::{DomainNames, Instance, NullGen, Schema};
+use vqd::query::{
+    cq_to_fo, parse_instance, parse_program, parse_query, Cq, QueryExpr, ViewSet,
+};
+
+/// Cap on how many distinct trip points a single sweep exercises; long
+/// engines are sampled evenly rather than swept exhaustively.
+const MAX_TRIP_POINTS: u64 = 48;
+
+/// Runs `op` unbudgeted to learn its checkpoint count and baseline
+/// outcome, then injects a fault at (a sample of) every checkpoint.
+///
+/// `op` must map exhaustion to `Err` and success to a *comparable*
+/// summary (`Ok`); nondeterministic details must be projected away by the
+/// adapter, not tolerated here.
+fn fault_sweep<T, F>(name: &str, op: F)
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(&Budget) -> Result<T, Box<Exhausted>>,
+{
+    let probe = Budget::unlimited();
+    let baseline = match op(&probe) {
+        Ok(v) => v,
+        Err(e) => panic!("{name}: unlimited run must complete, got {e}"),
+    };
+    let total = probe.steps();
+    assert!(total > 0, "{name}: engine reached no checkpoints — it is ungoverned");
+
+    let stride = total.div_ceil(MAX_TRIP_POINTS).max(1);
+    let mut n = 1;
+    while n <= total {
+        let budget = Budget::unlimited().trip_after(n);
+        match op(&budget) {
+            Err(e) => {
+                assert_eq!(
+                    e.reason,
+                    ExhaustReason::FaultInjected,
+                    "{name}: trip at checkpoint {n}/{total} has the wrong reason"
+                );
+                assert_eq!(
+                    e.work_done.steps,
+                    n - 1,
+                    "{name}: trip at checkpoint {n}/{total} misreports completed work"
+                );
+                assert!(
+                    !e.partial.is_empty(),
+                    "{name}: trip at checkpoint {n}/{total} lost its progress message"
+                );
+            }
+            Ok(v) => panic!(
+                "{name}: fault injected at checkpoint {n}/{total} was swallowed: {v:?}"
+            ),
+        }
+        // Graceful recovery: the same call, given room, completes and
+        // agrees with the baseline.
+        let retry = match op(&Budget::unlimited()) {
+            Ok(v) => v,
+            Err(e) => panic!("{name}: retry after injected fault failed: {e}"),
+        };
+        assert_eq!(retry, baseline, "{name}: retry after trip at {n} disagrees");
+        n += stride;
+    }
+}
+
+fn setup(schema: &Schema, views_src: &str, q_src: &str) -> (CqViews, Cq, DomainNames) {
+    let mut names = DomainNames::new();
+    let prog = parse_program(schema, &mut names, views_src).unwrap();
+    let views = CqViews::new(ViewSet::new(schema, prog.defs));
+    let q = parse_query(schema, &mut names, q_src)
+        .unwrap()
+        .as_cq()
+        .unwrap()
+        .clone();
+    (views, q, names)
+}
+
+#[test]
+fn semantic_search_survives_faults_at_every_checkpoint() {
+    let schema = Schema::new([("E", 2)]);
+    let (views, q, _) = setup(&schema, "V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
+    let vs = views.as_view_set().clone();
+    let q = QueryExpr::Cq(q);
+    fault_sweep("check_exhaustive", |b| {
+        match check_exhaustive_budgeted(&vs, &q, 2, 1 << 22, b) {
+            Ok(SemanticVerdict::Exhausted(e)) | Err(VqdError::Exhausted(e)) => Err(e),
+            Ok(v) => Ok(format!("{v:?}")),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    });
+}
+
+#[test]
+fn parallel_search_survives_faults_without_poisoned_locks() {
+    let schema = Schema::new([("E", 2)]);
+    // A refutable pair: workers race to a counterexample, so project the
+    // outcome down to its discriminant (which counterexample is found can
+    // legitimately vary between runs).
+    let (views, q, _) = setup(
+        &schema,
+        "V(x,y) :- E(x,z), E(z,y).",
+        "Q(x,y) :- E(x,a), E(a,b), E(b,y).",
+    );
+    let vs = views.as_view_set().clone();
+    let q = QueryExpr::Cq(q);
+    fault_sweep("check_exhaustive_parallel", |b| {
+        match check_exhaustive_parallel_budgeted(&vs, &q, 2, 1 << 22, 2, b) {
+            Ok(SemanticVerdict::Exhausted(e)) | Err(VqdError::Exhausted(e)) => Err(e),
+            Ok(SemanticVerdict::NotDetermined(_)) => Ok("NotDetermined"),
+            Ok(SemanticVerdict::NoCounterexampleUpTo(_)) => Ok("NoCounterexample"),
+            Ok(SemanticVerdict::TooLarge { .. }) => Ok("TooLarge"),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    });
+}
+
+#[test]
+fn chase_decision_survives_faults_at_every_checkpoint() {
+    let schema = Schema::new([("E", 2)]);
+    let (views, q, _) = setup(&schema, "V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
+    fault_sweep("decide_unrestricted", |b| {
+        match decide_unrestricted_budgeted(&views, &q, b) {
+            Ok(out) => Ok((out.determined, out.rewriting.is_some())),
+            Err(VqdError::Exhausted(e)) => Err(e),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    });
+}
+
+#[test]
+fn finite_decision_survives_faults_at_every_checkpoint() {
+    let schema = Schema::new([("E", 2)]);
+    let (views, q, _) = setup(
+        &schema,
+        "V1(x) :- E(x,y), E(y,x).",
+        "Q(x) :- E(x,y), E(y,x), E(x,x).",
+    );
+    fault_sweep("decide_finite", |b| {
+        match decide_finite_budgeted(&views, &q, 2, 1 << 22, b) {
+            Ok(FiniteVerdict::Exhausted(e)) => Err(e),
+            Ok(v) => Ok(format!("{v:?}")),
+            Err(VqdError::Exhausted(e)) => Err(e),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    });
+}
+
+#[test]
+fn tower_survives_faults_and_never_goes_ragged() {
+    let schema = Schema::new([("E", 2)]);
+    let (views, q, _) = setup(
+        &schema,
+        "V(x,y) :- E(x,z), E(z,y).",
+        "Q(x,y) :- E(x,a), E(a,b), E(b,y).",
+    );
+    fault_sweep("tower", |b| {
+        let mut t = match Tower::try_new(&views, &q, b) {
+            Ok(t) => t,
+            Err(VqdError::Exhausted(e)) => return Err(e),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        };
+        match t.try_grow_to(&views, 3, b) {
+            Ok(()) => Ok(t.levels()),
+            Err(VqdError::Exhausted(e)) => {
+                // The all-or-nothing step contract: whatever the trip
+                // point, every materialized level is complete.
+                assert!(t.levels() >= 1, "base level must survive");
+                Err(e)
+            }
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    });
+}
+
+#[test]
+fn view_inverse_survives_faults_at_every_checkpoint() {
+    let schema = Schema::new([("E", 2)]);
+    let mut names = DomainNames::new();
+    let prog = parse_program(&schema, &mut names, "V(x,y) :- E(x,z), E(z,y).").unwrap();
+    let views = CqViews::new(ViewSet::new(&schema, prog.defs));
+    let d = parse_instance(
+        &schema,
+        &mut names,
+        "E(A,B). E(B,C). E(C,D). E(D,A).",
+    )
+    .unwrap();
+    let image = apply_views(views.as_view_set(), &d);
+    let base = Instance::empty(&schema);
+    fault_sweep("v_inverse", |b| {
+        let mut nulls = NullGen::new();
+        match v_inverse_budgeted(&views, &base, &image, &mut nulls, b) {
+            Ok(inst) => Ok(inst.total_tuples()),
+            Err(VqdError::Exhausted(e)) => Err(e),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    });
+}
+
+#[test]
+fn datalog_engine_survives_faults_with_sound_partial_results() {
+    let schema = Schema::new([("E", 2), ("T", 2)]);
+    let mut names = DomainNames::new();
+    let prog = vqd::datalog::Program::parse(
+        &schema,
+        &mut names,
+        "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+    )
+    .unwrap();
+    let edb = parse_instance(
+        &schema,
+        &mut names,
+        "E(A,B). E(B,C). E(C,D). E(D,F).",
+    )
+    .unwrap();
+    for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+        // Baseline fixpoint, for the soundness assertion below.
+        let full = eval_program_budgeted(&prog, &edb, strategy, &Budget::unlimited())
+            .expect("unlimited evaluation completes");
+        fault_sweep(&format!("eval_program({strategy:?})"), |b| {
+            match eval_program_budgeted(&prog, &edb, strategy, b) {
+                Ok(db) => Ok(db.total_tuples()),
+                Err(EvalError::Exhausted { partial, info }) => {
+                    // Graceful degradation: the partial database is a
+                    // sound under-approximation of the fixpoint.
+                    assert!(
+                        partial.is_subinstance_of(&full),
+                        "partial result contains facts outside the fixpoint"
+                    );
+                    Err(info)
+                }
+                Err(e) => panic!("unexpected error kind: {e}"),
+            }
+        });
+    }
+}
+
+#[test]
+fn fo_evaluation_survives_faults_at_every_checkpoint() {
+    let schema = Schema::new([("E", 2)]);
+    let mut names = DomainNames::new();
+    let q = parse_query(&schema, &mut names, "Q(x,z) :- E(x,y), E(y,z).")
+        .unwrap()
+        .as_cq()
+        .unwrap()
+        .clone();
+    let fo = cq_to_fo(&q);
+    let d = parse_instance(&schema, &mut names, "E(A,B). E(B,C). E(C,A).").unwrap();
+    fault_sweep("eval_fo", |b| {
+        eval_fo_budgeted(&fo, &d, b).map(|rel| rel.len())
+    });
+}
+
+#[test]
+fn containment_survives_faults_at_every_checkpoint() {
+    let schema = Schema::new([("E", 2)]);
+    let mut names = DomainNames::new();
+    let q1 = parse_query(&schema, &mut names, "Q(x,z) :- E(x,y), E(y,z), E(x,x).")
+        .unwrap()
+        .as_cq()
+        .unwrap()
+        .clone();
+    let q2 = parse_query(&schema, &mut names, "Q(x,z) :- E(x,y), E(y,z).")
+        .unwrap()
+        .as_cq()
+        .unwrap()
+        .clone();
+    fault_sweep("contained_bounded", |b| {
+        match contained_bounded_budgeted(&q1, &q2, 2, 1 << 22, b) {
+            BoundedContainment::Exhausted(e) => Err(e),
+            v => Ok(format!("{v:?}")),
+        }
+    });
+}
+
+/// The cooperative cancel token stops the parallel scan promptly and the
+/// machinery stays usable afterwards (no poisoned lock, no wedged state).
+#[test]
+fn cancellation_is_cooperative_and_recoverable() {
+    let schema = Schema::new([("E", 2)]);
+    let (views, q, _) = setup(&schema, "V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
+    let vs = views.as_view_set().clone();
+    let q = QueryExpr::Cq(q);
+
+    let budget = Budget::unlimited();
+    budget.cancel_token().cancel();
+    match check_exhaustive_parallel_budgeted(&vs, &q, 2, 1 << 22, 2, &budget) {
+        Ok(SemanticVerdict::Exhausted(e)) => {
+            assert_eq!(e.reason, ExhaustReason::Canceled);
+        }
+        other => panic!("cancelled scan must report exhaustion, got {other:?}"),
+    }
+
+    // A fresh budget on the same inputs completes normally.
+    match check_exhaustive_parallel_budgeted(&vs, &q, 2, 1 << 22, 2, &Budget::unlimited()) {
+        Ok(SemanticVerdict::NoCounterexampleUpTo(2)) => {}
+        other => panic!("recovery run failed: {other:?}"),
+    }
+}

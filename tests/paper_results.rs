@@ -27,3 +27,29 @@ fn run_one_dispatch_matches_ids() {
     }
     assert!(experiments::run_one("e99").is_none());
 }
+
+/// The escalating-retry contract behind `repro --escalate`: starting from
+/// a deliberately tiny budget and doubling on every trip must eventually
+/// complete each experiment with exactly the verdict an unbudgeted run
+/// produces (experiments are seeded, so reruns are deterministic).
+#[test]
+fn escalating_retry_reaches_the_unbudgeted_verdicts() {
+    use vqd_budget::Budget;
+    // A fast representative subset: sampling-loop experiments (e5, e17),
+    // a tower experiment (e3), and a fixed-scenario one (e15).
+    for id in ["e3", "e5", "e15", "e17"] {
+        let baseline = experiments::run_one(id).expect("known id");
+        let mut steps = 4u64;
+        let report = loop {
+            let budget = Budget::unlimited().with_step_limit(steps);
+            let r = experiments::run_one_budgeted(id, &budget).expect("known id");
+            if !r.tripped() {
+                break r;
+            }
+            assert!(steps < 1 << 24, "{id}: still partial at the ceiling");
+            steps *= 2;
+        };
+        assert_eq!(report.pass, baseline.pass, "{id}: escalated verdict differs");
+        assert_eq!(report.rows, baseline.rows, "{id}: escalated table differs");
+    }
+}

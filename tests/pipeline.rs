@@ -86,6 +86,7 @@ fn finite_decision_covers_all_three_regimes() {
         FiniteVerdict::Open { searched_up_to } => assert!(searched_up_to <= 1),
         FiniteVerdict::NotDetermined(_) => {} // also acceptable: refuted already at domain 1
         FiniteVerdict::Determined(_) => panic!("v3 cannot determine q3"),
+        FiniteVerdict::Exhausted(e) => panic!("unbudgeted run cannot exhaust: {e}"),
     }
 }
 

@@ -136,7 +136,7 @@ proptest! {
     fn freeze_unfreeze_roundtrip(q in arb_cq(4, 3, 1)) {
         let mut nulls = NullGen::new();
         let (inst, head, _) = freeze(&q, &mut nulls).expect("plain CQ");
-        let (q2, _) = unfreeze_instance(&inst, &head, &q.schema);
+        let (q2, _) = unfreeze_instance(&inst, &head, &q.schema).expect("schemas match");
         prop_assert!(cq_equivalent(&q, &q2));
     }
 
@@ -260,6 +260,102 @@ proptest! {
                 eval_cq(&q, &d).is_subset(&eval_cq(&can.q_v, &image)),
                 "Q ⊆ Q_V ∘ V must always hold"
             );
+        }
+    }
+}
+
+// Budget invariance: resource governance must never change an answer —
+// any budget value yields either the unbudgeted verdict or `Exhausted`,
+// and never a panic or a wrong determined/refuted answer.
+proptest! {
+    /// Bounded semantic search under a random step budget.
+    #[test]
+    fn budgeted_semantic_search_is_invariant_or_exhausted(
+        v in arb_cq(2, 3, 2), q in arb_cq(2, 3, 1), steps in 1u64..300
+    ) {
+        use vqd::budget::{Budget, VqdError};
+        use vqd::core::determinacy::semantic::{check_exhaustive_budgeted, SemanticVerdict};
+        let views = ViewSet::new(&schema(), vec![("V", QueryExpr::Cq(v))]);
+        let q = QueryExpr::Cq(q);
+        let full = check_exhaustive(&views, &q, 2, 1 << 22);
+        let budget = Budget::unlimited().with_step_limit(steps);
+        match check_exhaustive_budgeted(&views, &q, 2, 1 << 22, &budget) {
+            Ok(SemanticVerdict::Exhausted(_)) | Err(VqdError::Exhausted(_)) => {}
+            Ok(verdict) => prop_assert_eq!(
+                verdict.is_refuted(),
+                full.is_refuted(),
+                "a budget changed the refutation verdict"
+            ),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    }
+
+    /// The chase decision under a random step budget.
+    #[test]
+    fn budgeted_chase_decision_is_invariant_or_exhausted(
+        v in arb_cq(2, 3, 2), q in arb_cq(2, 3, 1), steps in 1u64..100
+    ) {
+        use vqd::budget::{Budget, VqdError};
+        use vqd::core::determinacy::unrestricted::decide_unrestricted_budgeted;
+        let views = CqViews::new(ViewSet::new(&schema(), vec![("V", QueryExpr::Cq(v))]));
+        let full = decide_unrestricted(&views, &q);
+        let budget = Budget::unlimited().with_step_limit(steps);
+        match decide_unrestricted_budgeted(&views, &q, &budget) {
+            Ok(out) => prop_assert_eq!(
+                out.determined,
+                full.determined,
+                "a budget changed the determinacy verdict"
+            ),
+            Err(VqdError::Exhausted(_)) => {}
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    }
+
+    /// Bounded containment under a random step budget.
+    #[test]
+    fn budgeted_containment_is_invariant_or_exhausted(
+        q1 in arb_cq(2, 3, 1), q2 in arb_cq(2, 3, 1), steps in 1u64..100
+    ) {
+        use vqd::budget::Budget;
+        use vqd::eval::{contained_bounded, contained_bounded_budgeted, BoundedContainment};
+        let full = contained_bounded(&q1, &q2, 2, 1 << 22);
+        let budget = Budget::unlimited().with_step_limit(steps);
+        match contained_bounded_budgeted(&q1, &q2, 2, 1 << 22, &budget) {
+            BoundedContainment::Exhausted(_) => {}
+            verdict => prop_assert_eq!(verdict, full, "a budget changed containment"),
+        }
+    }
+
+    /// Datalog fixpoints under a random step budget: equal to the full
+    /// fixpoint, or exhausted with a sound partial database.
+    #[test]
+    fn budgeted_datalog_is_invariant_or_sound_partial(
+        d in arb_instance(3), steps in 1u64..60
+    ) {
+        use vqd::budget::Budget;
+        use vqd::datalog::{eval_program_budgeted, EvalError, Program, Strategy};
+        let pschema = schema().extend([("T", 2)]);
+        let mut names = DomainNames::new();
+        let prog = Program::parse(
+            &pschema,
+            &mut names,
+            "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+        )
+        .unwrap();
+        let edb = {
+            let mapping: Vec<_> = d.schema().rel_ids().collect();
+            d.transport(&pschema, &mapping)
+        };
+        let full = eval_program_budgeted(&prog, &edb, Strategy::SemiNaive, &Budget::unlimited())
+            .unwrap();
+        let budget = Budget::unlimited().with_step_limit(steps);
+        match eval_program_budgeted(&prog, &edb, Strategy::SemiNaive, &budget) {
+            Ok(db) => prop_assert_eq!(db, full, "a budget changed the fixpoint"),
+            Err(EvalError::Exhausted { partial, .. }) => prop_assert!(
+                partial.is_subinstance_of(&full),
+                "partial result contains facts outside the fixpoint"
+            ),
+            Err(e) => panic!("unexpected error kind: {e}"),
         }
     }
 }
