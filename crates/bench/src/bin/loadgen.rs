@@ -1,0 +1,349 @@
+//! `loadgen` — concurrency/latency harness for `vqd-server`.
+//!
+//! Spawns an in-process server (or targets `--addr`), drives it with
+//! `--conns` concurrent client connections each issuing `--requests`
+//! randomized requests (a mix of determinacy decisions, rewritings,
+//! certain-answer evaluations, bounded containment, semantic scans, and
+//! pings generated via [`vqd_bench::genq`]), and writes a JSON report
+//! with throughput, latency percentiles, and outcome counts to
+//! `BENCH_server.json`.
+//!
+//! ```text
+//! loadgen [--conns 32] [--requests 25] [--workers 4] [--queue-depth 64]
+//!         [--deadline-ms 500] [--seed 7] [--out BENCH_server.json]
+//!         [--addr HOST:PORT] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the run for CI (few connections, few requests).
+//! Exit code 0 means every connection thread completed without a panic
+//! or transport failure and at least one request completed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::json::Value;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+use vqd_bench::genq::{path_query, path_views, random_cq, CqGen};
+use vqd_instance::Schema;
+use vqd_server::{
+    Client, Limits, Outcome, Request, ServerCaps, ServerConfig, WireMetrics,
+};
+
+struct Args {
+    conns: usize,
+    requests: usize,
+    workers: usize,
+    queue_depth: usize,
+    deadline_ms: u64,
+    seed: u64,
+    out: String,
+    addr: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: loadgen [--conns N] [--requests N] [--workers N] [--queue-depth N] \
+         [--deadline-ms N] [--seed N] [--out PATH] [--addr HOST:PORT] [--smoke]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        conns: 32,
+        requests: 25,
+        workers: 4,
+        queue_depth: 64,
+        deadline_ms: 500,
+        seed: 7,
+        out: "BENCH_server.json".to_owned(),
+        addr: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    let num = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> u64 {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die(&format!("flag `{flag}` needs a numeric value")))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--conns" => args.conns = num(&mut it, flag) as usize,
+            "--requests" => args.requests = num(&mut it, flag) as usize,
+            "--workers" => args.workers = num(&mut it, flag) as usize,
+            "--queue-depth" => args.queue_depth = num(&mut it, flag) as usize,
+            "--deadline-ms" => args.deadline_ms = num(&mut it, flag),
+            "--seed" => args.seed = num(&mut it, flag),
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| die("flag `--out` needs a value")).clone();
+            }
+            "--addr" => {
+                args.addr =
+                    Some(it.next().unwrap_or_else(|| die("flag `--addr` needs a value")).clone());
+            }
+            "--smoke" => {
+                args.conns = 6;
+                args.requests = 4;
+            }
+            "--help" | "-h" => die("loadgen: drive a vqd-server with concurrent clients"),
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    if args.conns == 0 || args.requests == 0 {
+        die("--conns and --requests must be positive");
+    }
+    Args { ..args }
+}
+
+/// One randomized request over the graph schema `E/2`, as wire text.
+fn sample_request(rng: &mut StdRng, schema: &Schema) -> Request {
+    let schema_text = "E/2".to_owned();
+    match rng.gen_range(0..10u32) {
+        // Path-view determinacy with a known-positive instance (k=2
+        // views determine the length-4 query) and a known-negative one.
+        0..=2 => {
+            let k = rng.gen_range(2..=3usize);
+            let m = if rng.gen_range(0..2u32) == 0 { 2 * k } else { k + 1 };
+            Request::Decide {
+                schema: schema_text,
+                views: path_views(schema, k).as_view_set().to_string(),
+                query: path_query(schema, m).render("Q"),
+            }
+        }
+        // Random small CQs: exercises the chase on varied shapes.
+        3..=4 => {
+            let p = CqGen { atoms: rng.gen_range(1..=3), vars: rng.gen_range(2..=4), max_head: 2 };
+            let views = format!(
+                "{}\n{}",
+                random_cq(schema, p, rng).render("V0"),
+                random_cq(schema, p, rng).render("V1"),
+            );
+            Request::Rewrite {
+                schema: schema_text,
+                views,
+                query: random_cq(schema, p, rng).render("Q"),
+            }
+        }
+        // Certain answers on a concrete extent.
+        5..=6 => Request::Certain {
+            schema: schema_text,
+            views: "V(x,y) :- E(x,y).".to_owned(),
+            query: path_query(schema, 2).render("Q"),
+            extent: "V(A,B). V(B,C). V(C,D).".to_owned(),
+        },
+        // Bounded containment between path queries.
+        7 => {
+            let k = rng.gen_range(2..=3usize);
+            Request::Containment {
+                schema: schema_text,
+                q1: path_query(schema, k + 1).render("Q"),
+                q2: path_query(schema, k).render("Q"),
+                max_domain: 2,
+                space_limit: 1 << 12,
+            }
+        }
+        // One exhaustive semantic scan at domain 2 (cheap but real work).
+        8 => Request::Semantic {
+            schema: schema_text,
+            views: path_views(schema, 2).as_view_set().to_string(),
+            query: path_query(schema, 3).render("Q"),
+            domain: 2,
+            space_limit: 1 << 12,
+        },
+        _ => Request::Ping,
+    }
+}
+
+#[derive(Default)]
+struct ConnStats {
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    exhausted: u64,
+    overloaded: u64,
+    errors: u64,
+}
+
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    requests: usize,
+    deadline_ms: u64,
+    seed: u64,
+) -> Result<ConnStats, String> {
+    let schema = Schema::parse("E/2").map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let mut stats = ConnStats::default();
+    for _ in 0..requests {
+        let request = sample_request(&mut rng, &schema);
+        let limits = Limits { deadline_ms: Some(deadline_ms), ..Limits::none() };
+        let start = Instant::now();
+        let response = client.call(limits, request).map_err(|e| format!("call: {e}"))?;
+        stats.latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        match response.outcome {
+            Outcome::Error { kind, message } => {
+                // Protocol/engine errors under generated load are bugs:
+                // surface the first one loudly but keep counting.
+                if stats.errors == 0 {
+                    eprintln!("loadgen: error reply [{:?}]: {message}", kind);
+                }
+                stats.errors += 1;
+            }
+            Outcome::Exhausted { .. } => stats.exhausted += 1,
+            Outcome::Overloaded { .. } => stats.overloaded += 1,
+            _ => stats.ok += 1,
+        }
+    }
+    Ok(stats)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Either target an external server or run one in-process.
+    let (addr, handle) = match &args.addr {
+        Some(a) => {
+            let addr = a.parse().unwrap_or_else(|e| die(&format!("bad --addr `{a}`: {e}")));
+            (addr, None)
+        }
+        None => {
+            let handle = vqd_server::spawn(ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                workers: args.workers,
+                queue_depth: args.queue_depth,
+                caps: ServerCaps {
+                    max_deadline: Duration::from_secs(5),
+                    ..ServerCaps::default()
+                },
+            })
+            .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
+            (handle.addr(), Some(handle))
+        }
+    };
+    println!(
+        "loadgen: {} conns x {} requests against {addr} ({} workers, queue {})",
+        args.conns, args.requests, args.workers, args.queue_depth
+    );
+
+    let started = Instant::now();
+    let threads: Vec<_> = (0..args.conns)
+        .map(|i| {
+            let seed = args.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i as u64);
+            let (requests, deadline_ms) = (args.requests, args.deadline_ms);
+            std::thread::Builder::new()
+                .name(format!("loadgen-{i}"))
+                .spawn(move || drive_connection(addr, requests, deadline_ms, seed))
+                .unwrap_or_else(|e| die(&format!("spawning client {i}: {e}")))
+        })
+        .collect();
+
+    let mut all = ConnStats::default();
+    let mut failures = 0u64;
+    let mut panics = 0u64;
+    for t in threads {
+        match t.join() {
+            Ok(Ok(s)) => {
+                all.latencies_ms.extend(s.latencies_ms);
+                all.ok += s.ok;
+                all.exhausted += s.exhausted;
+                all.overloaded += s.overloaded;
+                all.errors += s.errors;
+            }
+            Ok(Err(msg)) => {
+                eprintln!("loadgen: connection failed: {msg}");
+                failures += 1;
+            }
+            Err(_) => {
+                eprintln!("loadgen: client thread panicked");
+                panics += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    let server_metrics: Option<WireMetrics> = handle.map(|h| h.shutdown());
+
+    let completed = all.latencies_ms.len() as u64;
+    all.latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let throughput = completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    let (p50, p95, p99) = (
+        percentile(&all.latencies_ms, 0.50),
+        percentile(&all.latencies_ms, 0.95),
+        percentile(&all.latencies_ms, 0.99),
+    );
+    let max_ms = all.latencies_ms.last().copied().unwrap_or(0.0);
+
+    let mut report = vec![
+        ("bench".to_owned(), Value::from("server_loadgen")),
+        ("conns".to_owned(), Value::from(args.conns)),
+        ("requests_per_conn".to_owned(), Value::from(args.requests)),
+        ("workers".to_owned(), Value::from(args.workers)),
+        ("queue_depth".to_owned(), Value::from(args.queue_depth)),
+        ("deadline_ms".to_owned(), Value::from(args.deadline_ms)),
+        ("seed".to_owned(), Value::from(args.seed)),
+        ("elapsed_ms".to_owned(), Value::from(elapsed.as_secs_f64() * 1e3)),
+        ("completed".to_owned(), Value::from(completed)),
+        ("ok".to_owned(), Value::from(all.ok)),
+        ("exhausted".to_owned(), Value::from(all.exhausted)),
+        ("overloaded".to_owned(), Value::from(all.overloaded)),
+        ("errors".to_owned(), Value::from(all.errors)),
+        ("connection_failures".to_owned(), Value::from(failures)),
+        ("client_panics".to_owned(), Value::from(panics)),
+        ("throughput_rps".to_owned(), Value::from(throughput)),
+        (
+            "latency_ms".to_owned(),
+            Value::object([
+                ("p50", Value::from(p50)),
+                ("p95", Value::from(p95)),
+                ("p99", Value::from(p99)),
+                ("max", Value::from(max_ms)),
+            ]),
+        ),
+    ];
+    if let Some(m) = &server_metrics {
+        report.push((
+            "server".to_owned(),
+            Value::object([
+                ("accepted", Value::from(m.accepted)),
+                ("completed_ok", Value::from(m.completed_ok)),
+                ("exhausted", Value::from(m.exhausted)),
+                ("rejected", Value::from(m.rejected)),
+                ("errors", Value::from(m.errors)),
+                ("max_queue_depth", Value::from(m.max_queue_depth)),
+                ("connections_total", Value::from(m.connections_total)),
+                ("workers", Value::from(m.workers)),
+            ]),
+        ));
+    }
+    let json = Value::Obj(report).to_string();
+    match std::fs::File::create(&args.out).and_then(|mut f| writeln!(f, "{json}")) {
+        Ok(()) => println!("wrote {}", args.out),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", args.out);
+            std::process::exit(1)
+        }
+    }
+    println!(
+        "{completed} completed in {:.1}ms — {throughput:.0} req/s | \
+         p50 {p50:.2}ms p95 {p95:.2}ms p99 {p99:.2}ms max {max_ms:.2}ms | \
+         {} ok, {} exhausted, {} overloaded, {} errors",
+        elapsed.as_secs_f64() * 1e3,
+        all.ok,
+        all.exhausted,
+        all.overloaded,
+        all.errors
+    );
+    if panics > 0 || failures > 0 || completed == 0 {
+        std::process::exit(1)
+    }
+}

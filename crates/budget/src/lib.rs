@@ -234,6 +234,57 @@ impl Budget {
         self.counters.tuples.load(Ordering::Relaxed)
     }
 
+    /// Wall-clock time left before the deadline (saturating at zero);
+    /// `None` when no deadline is set.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Checkpoints left before the step limit trips (saturating at
+    /// zero); `None` when no step limit is set.
+    pub fn remaining_steps(&self) -> Option<u64> {
+        self.step_limit.map(|l| l.saturating_sub(self.steps()))
+    }
+
+    /// Tuple charges left before the tuple limit trips (saturating at
+    /// zero); `None` when no tuple limit is set.
+    pub fn remaining_tuples(&self) -> Option<u64> {
+        self.tuple_limit.map(|l| l.saturating_sub(self.tuples()))
+    }
+
+    /// A fresh budget at least as strict as both arguments: its deadline
+    /// is the earlier of the two, and each counter limit is the smaller
+    /// *remaining* allowance (a half-spent budget contributes only what
+    /// it has left). Counters start at zero; cancellation authority comes
+    /// from `a` — the combined budget observes `a`'s [`CancelToken`], so
+    /// pass the governing (e.g. server-side) budget first and the
+    /// advisory (e.g. client-requested) one second.
+    ///
+    /// This is how a service clamps a client-requested deadline against
+    /// its own caps without reaching into either budget's fields.
+    #[must_use]
+    pub fn min_of(a: &Budget, b: &Budget) -> Budget {
+        fn opt_min<T: Ord>(x: Option<T>, y: Option<T>) -> Option<T> {
+            match (x, y) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        let remaining_trip =
+            |budget: &Budget| budget.trip_at.map(|at| at.saturating_sub(budget.steps()));
+        Budget {
+            counters: Arc::new(Counters::default()),
+            cancel: a.cancel.clone(),
+            started: Instant::now(),
+            deadline: opt_min(a.deadline, b.deadline),
+            step_limit: opt_min(a.remaining_steps(), b.remaining_steps()),
+            tuple_limit: opt_min(a.remaining_tuples(), b.remaining_tuples()),
+            trip_at: opt_min(remaining_trip(a), remaining_trip(b)),
+        }
+    }
+
     /// Whether this budget can ever trip (false for a plain
     /// [`Budget::unlimited`] with no cancel requested).
     pub fn is_limited(&self) -> bool {
@@ -469,6 +520,78 @@ mod tests {
         }
         let e = tripped.unwrap_or_else(|| panic!("deadline never observed"));
         assert_eq!(e.reason, ExhaustReason::Deadline);
+    }
+
+    #[test]
+    fn remaining_accessors_saturate() {
+        let b = Budget::unlimited();
+        assert_eq!(b.remaining_steps(), None);
+        assert_eq!(b.remaining_time(), None);
+        assert_eq!(b.remaining_tuples(), None);
+        let b = Budget::unlimited().with_step_limit(3).with_tuple_limit(2);
+        assert_eq!(b.remaining_steps(), Some(3));
+        b.checkpoint().expect("within budget");
+        assert_eq!(b.remaining_steps(), Some(2));
+        b.charge_tuples(2, &"").expect("within budget");
+        assert_eq!(b.remaining_tuples(), Some(0));
+        for _ in 0..2 {
+            b.checkpoint().expect("within budget");
+        }
+        assert!(b.checkpoint().is_err());
+        assert_eq!(b.remaining_steps(), Some(0));
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(60));
+        let left = b.remaining_time().expect("deadline set");
+        assert!(left <= Duration::from_secs(60) && left > Duration::from_secs(50));
+    }
+
+    #[test]
+    fn min_of_takes_stricter_limits() {
+        let a = Budget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .with_step_limit(10);
+        for _ in 0..4 {
+            a.checkpoint().expect("within budget");
+        }
+        let b = Budget::unlimited()
+            .with_deadline(Duration::from_secs(1))
+            .with_step_limit(100)
+            .with_tuple_limit(7);
+        let c = Budget::min_of(&a, &b);
+        // Deadline from b (earlier), steps from a's *remaining* 6,
+        // tuples from b (a has none), counters fresh.
+        assert!(c.remaining_time().expect("deadline") <= Duration::from_secs(1));
+        assert_eq!(c.remaining_steps(), Some(6));
+        assert_eq!(c.remaining_tuples(), Some(7));
+        assert_eq!(c.steps(), 0);
+        for _ in 0..6 {
+            c.checkpoint().expect("within combined budget");
+        }
+        let e = c.checkpoint().expect_err("combined limit must trip");
+        assert_eq!(e.reason, ExhaustReason::StepLimit);
+        // a's counters were not drawn down by c.
+        assert_eq!(a.steps(), 4);
+    }
+
+    #[test]
+    fn min_of_cancel_authority_is_first_argument() {
+        let a = Budget::unlimited();
+        let b = Budget::unlimited();
+        let c = Budget::min_of(&a, &b);
+        b.cancel_token().cancel();
+        assert!(c.checkpoint().is_ok(), "b has no cancel authority");
+        a.cancel_token().cancel();
+        let e = c.checkpoint().expect_err("a's cancellation must be observed");
+        assert_eq!(e.reason, ExhaustReason::Canceled);
+    }
+
+    #[test]
+    fn min_of_combines_trip_points() {
+        let a = Budget::unlimited().trip_after(5);
+        let b = Budget::unlimited().trip_after(2);
+        let c = Budget::min_of(&a, &b);
+        assert!(c.checkpoint().is_ok());
+        let e = c.checkpoint().expect_err("earlier trip point wins");
+        assert_eq!(e.reason, ExhaustReason::FaultInjected);
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! E14 experiment checks that collapse.
 
 use crate::answering::for_each_preimage;
-use vqd_chase::{v_inverse, CqViews};
+use vqd_budget::VqdError;
+use vqd_chase::{v_inverse_budgeted, CqViews};
 use vqd_eval::{eval_cq, eval_query};
 use vqd_instance::{Instance, NullGen, Relation};
 use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
@@ -29,21 +30,40 @@ use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
 /// Panics unless `q` is a plain CQ (the chase argument needs
 /// monotonicity and freeness from built-ins).
 pub fn certain_sound(views: &CqViews, q: &Cq, extent: &Instance) -> Relation {
-    assert_eq!(
-        q.language(),
-        CqLang::Cq,
-        "certain_sound requires a plain CQ query"
-    );
+    match certain_sound_budgeted(views, q, extent, &vqd_budget::Budget::unlimited()) {
+        Ok(r) => r,
+        Err(e) => panic!("certain_sound: {e}"),
+    }
+}
+
+/// Budgeted, fallible [`certain_sound`]: the chase draws on `budget`,
+/// and a non-CQ query is a structured [`VqdError`] instead of a panic.
+pub fn certain_sound_budgeted(
+    views: &CqViews,
+    q: &Cq,
+    extent: &Instance,
+    budget: &vqd_budget::Budget,
+) -> Result<Relation, VqdError> {
+    if q.language() != CqLang::Cq {
+        return Err(VqdError::InvalidInput {
+            context: "certain_sound",
+            message: "requires a plain CQ query (no =, ≠, ¬)".to_owned(),
+        });
+    }
     let mut nulls = NullGen::new();
     let empty = Instance::empty(views.as_view_set().input_schema());
-    let chased = v_inverse(views, &empty, extent, &mut nulls);
+    let chased = v_inverse_budgeted(views, &empty, extent, &mut nulls, budget)?;
     let mut out = Relation::new(q.arity());
     for t in eval_cq(q, &chased).iter() {
+        budget.checkpoint_with(&format_args!(
+            "filtering certain answers: {} kept so far",
+            out.len()
+        ))?;
         if t.iter().all(|v| v.is_named()) {
             out.insert(t.clone());
         }
     }
-    out
+    Ok(out)
 }
 
 /// Result of the exact-view certain-answer computation.

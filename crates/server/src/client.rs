@@ -1,0 +1,120 @@
+//! Blocking client for the vqd wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues requests in order:
+//! write one envelope line, read one response line. For concurrency,
+//! open several clients — the server multiplexes connections onto its
+//! worker pool.
+
+use crate::proto::{
+    Envelope, ErrorKind, Limits, Outcome, Request, Response, WireMetrics,
+};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 0,
+        })
+    }
+
+    /// Caps how long [`Client::call`] waits for a reply (`None` = wait
+    /// forever). Server-side budgets normally bound this anyway.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.next_id += 1;
+        format!("c{}", self.next_id)
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::from_line(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Issues one request under the given limits and blocks for the
+    /// reply. `Err` is a transport failure; protocol-level failures come
+    /// back inside the [`Response`].
+    pub fn call(&mut self, limits: Limits, request: Request) -> io::Result<Response> {
+        let envelope = Envelope::new(self.fresh_id(), limits, request);
+        writeln!(self.writer, "{}", envelope.to_json())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends a raw line (not necessarily a valid envelope) and reads one
+    /// reply. Blank lines get no reply — don't send them here.
+    pub fn call_raw(&mut self, line: &str) -> io::Result<Response> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Liveness probe; `Ok(true)` iff the server answered `pong`.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        Ok(self.call(Limits::none(), Request::Ping)?.outcome == Outcome::Pong)
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn stats(&mut self) -> io::Result<WireMetrics> {
+        match self.call(Limits::none(), Request::Stats)?.outcome {
+            Outcome::StatsSnapshot(m) => Ok(m),
+            Outcome::Error { kind, message } => Err(io::Error::other(format!(
+                "stats failed [{}]: {message}",
+                kind.as_str()
+            ))),
+            other => Err(io::Error::other(format!(
+                "unexpected stats reply: {other}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain and stop; `Ok(true)` iff acknowledged.
+    pub fn shutdown_server(&mut self) -> io::Result<bool> {
+        Ok(self.call(Limits::none(), Request::Shutdown)?.outcome == Outcome::ShuttingDown)
+    }
+}
+
+/// Convenience: classify a response for exit-code style reporting.
+/// Returns `Ok(())` for `ok` outcomes and a message otherwise.
+pub fn ensure_ok(response: &Response) -> Result<(), String> {
+    match &response.outcome {
+        Outcome::Error { kind, message } => {
+            Err(format!("error [{}]: {message}", kind.as_str()))
+        }
+        Outcome::Exhausted { reason, partial } => {
+            Err(format!("exhausted ({reason}): {partial}"))
+        }
+        Outcome::Overloaded { queue_depth, queue_capacity } => Err(format!(
+            "overloaded (queue {queue_depth}/{queue_capacity})"
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// True iff the outcome is a protocol/engine error of the given kind.
+pub fn is_error_kind(response: &Response, kind: ErrorKind) -> bool {
+    matches!(&response.outcome, Outcome::Error { kind: k, .. } if *k == kind)
+}

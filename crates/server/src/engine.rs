@@ -1,0 +1,498 @@
+//! Request execution: one [`Request`] + one clamped [`Budget`] in, one
+//! [`Outcome`] out.
+//!
+//! Every path is budgeted and fallible: parse failures, hypothesis
+//! violations, and schema mismatches come back as structured
+//! [`Outcome::Error`]s; budget trips come back as
+//! [`Outcome::Exhausted`] with the engine's own partial-progress
+//! message. Workers additionally wrap [`execute`] in `catch_unwind`, so
+//! even a server-side bug degrades to an `internal` error instead of a
+//! dead worker.
+
+// The helpers below use `Result<_, Outcome>` so `?` can short-circuit
+// straight to the wire reply; the Err is the reply itself, built once
+// and returned once, so its size is not worth boxing over.
+#![allow(clippy::result_large_err)]
+
+use crate::metrics::Metrics;
+use crate::proto::{ErrorKind, Outcome, Request, WireCounterexample};
+use std::sync::Arc;
+use vqd_budget::{Budget, CancelToken, VqdError};
+use vqd_chase::CqViews;
+use vqd_core::certain::certain_sound_budgeted;
+use vqd_core::determinacy::{
+    check_exhaustive_budgeted, decide_finite_budgeted, decide_unrestricted_budgeted,
+    Counterexample, FiniteVerdict, SemanticVerdict,
+};
+use vqd_eval::{contained_bounded_budgeted, BoundedContainment};
+use vqd_instance::{DomainNames, Schema};
+use vqd_query::{parse_instance, parse_program, parse_query, Cq, CqLang, QueryExpr, ViewSet};
+
+/// What the engine can reach besides the request itself: the shared
+/// metrics (for [`Request::Stats`]) and the server's shutdown token
+/// (for [`Request::Shutdown`]).
+#[derive(Clone)]
+pub struct EngineCtx {
+    /// Service counters.
+    pub metrics: Arc<Metrics>,
+    /// Tripping this token starts a server drain.
+    pub shutdown: CancelToken,
+}
+
+/// Shorthand for building an error outcome.
+fn err(kind: ErrorKind, message: impl Into<String>) -> Outcome {
+    Outcome::Error { kind, message: message.into() }
+}
+
+/// Maps an engine-level [`VqdError`] onto the wire taxonomy.
+fn vqd_error(e: VqdError) -> Outcome {
+    match e {
+        VqdError::Exhausted(ex) => Outcome::Exhausted {
+            reason: ex.reason.to_string(),
+            partial: ex.partial.clone(),
+        },
+        VqdError::Parse(msg) => err(ErrorKind::Parse, msg),
+        e @ VqdError::SchemaMismatch { .. } => err(ErrorKind::SchemaMismatch, e.to_string()),
+        e @ VqdError::InvalidInput { .. } => err(ErrorKind::InvalidInput, e.to_string()),
+        e @ VqdError::NotStratifiable(_) => err(ErrorKind::InvalidInput, e.to_string()),
+    }
+}
+
+/// Parsed views + query context shared by most operations.
+struct ParsedPair {
+    names: DomainNames,
+    views: ViewSet,
+    query: QueryExpr,
+}
+
+fn parse_pair(schema: &str, views: &str, query: &str) -> Result<ParsedPair, Outcome> {
+    let schema = Schema::parse(schema)
+        .map_err(|e| err(ErrorKind::Parse, format!("schema: {e}")))?;
+    let mut names = DomainNames::new();
+    let prog = parse_program(&schema, &mut names, views)
+        .map_err(|e| err(ErrorKind::Parse, format!("views: {e}")))?;
+    if prog.defs.is_empty() {
+        return Err(err(ErrorKind::InvalidInput, "views: at least one view is required"));
+    }
+    for (i, (name, _)) in prog.defs.iter().enumerate() {
+        if prog.defs[..i].iter().any(|(n, _)| n == name) {
+            return Err(err(
+                ErrorKind::InvalidInput,
+                format!("views: duplicate view name `{name}`"),
+            ));
+        }
+    }
+    let views = ViewSet::new(&schema, prog.defs);
+    let query = parse_query(&schema, &mut names, query)
+        .map_err(|e| err(ErrorKind::Parse, format!("query: {e}")))?;
+    Ok(ParsedPair { names, views, query })
+}
+
+/// The Section 3 hypotheses: plain-CQ views and a plain-CQ query.
+fn require_cq(pair: &ParsedPair) -> Result<(CqViews, Cq), Outcome> {
+    let views = CqViews::try_new(pair.views.clone()).map_err(vqd_error)?;
+    let q = pair
+        .query
+        .as_cq()
+        .filter(|q| q.language() == CqLang::Cq)
+        .ok_or_else(|| {
+            err(
+                ErrorKind::InvalidInput,
+                "this operation requires a plain CQ query (no =, ≠, ¬, FO)",
+            )
+        })?;
+    Ok((views, q.clone()))
+}
+
+fn render_counterexample(c: &Counterexample, names: &DomainNames) -> WireCounterexample {
+    WireCounterexample {
+        d1: c.d1.render(names),
+        d2: c.d2.render(names),
+        image: c.image.render(names),
+        q1: c.q1.render(names),
+        q2: c.q2.render(names),
+    }
+}
+
+/// Executes one request under `budget`. Never panics on bad input; may
+/// panic only on a genuine engine bug (callers wrap in `catch_unwind`).
+pub fn execute(request: &Request, budget: &Budget, ctx: &EngineCtx) -> Outcome {
+    match request {
+        Request::Ping => Outcome::Pong,
+        Request::Stats => Outcome::StatsSnapshot(ctx.metrics.snapshot()),
+        Request::Shutdown => {
+            ctx.shutdown.cancel();
+            Outcome::ShuttingDown
+        }
+        Request::Decide { schema, views, query } => {
+            match run_decide(schema, views, query, budget) {
+                Ok((determined, rewriting)) => Outcome::Decided { determined, rewriting },
+                Err(o) => o,
+            }
+        }
+        Request::Rewrite { schema, views, query } => {
+            match run_decide(schema, views, query, budget) {
+                Ok((determined, rewriting)) => Outcome::Rewritten {
+                    exists: determined,
+                    rewriting,
+                },
+                Err(o) => o,
+            }
+        }
+        Request::Certain { schema, views, query, extent } => {
+            run_certain(schema, views, query, extent, budget)
+        }
+        Request::Containment { schema, q1, q2, max_domain, space_limit } => {
+            run_containment(schema, q1, q2, *max_domain, *space_limit, budget)
+        }
+        Request::Finite { schema, views, query, max_domain, space_limit } => {
+            run_finite(schema, views, query, *max_domain, *space_limit, budget)
+        }
+        Request::Semantic { schema, views, query, domain, space_limit } => {
+            run_semantic(schema, views, query, *domain, *space_limit, budget)
+        }
+    }
+}
+
+fn run_decide(
+    schema: &str,
+    views: &str,
+    query: &str,
+    budget: &Budget,
+) -> Result<(bool, Option<String>), Outcome> {
+    let pair = parse_pair(schema, views, query)?;
+    let (cq_views, q) = require_cq(&pair)?;
+    let out = decide_unrestricted_budgeted(&cq_views, &q, budget).map_err(vqd_error)?;
+    Ok((out.determined, out.rewriting.map(|r| r.render("R"))))
+}
+
+fn run_certain(schema: &str, views: &str, query: &str, extent: &str, budget: &Budget) -> Outcome {
+    let pair = match parse_pair(schema, views, query) {
+        Ok(p) => p,
+        Err(o) => return o,
+    };
+    let (cq_views, q) = match require_cq(&pair) {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    let mut names = pair.names;
+    let extent = match parse_instance(cq_views.as_view_set().output_schema(), &mut names, extent)
+    {
+        Ok(i) => i,
+        Err(e) => return err(ErrorKind::Parse, format!("extent: {e}")),
+    };
+    match certain_sound_budgeted(&cq_views, &q, &extent, budget) {
+        Ok(rel) => Outcome::CertainAnswers {
+            count: rel.len() as u64,
+            answers: rel.render(&names),
+        },
+        Err(e) => vqd_error(e),
+    }
+}
+
+fn run_containment(
+    schema: &str,
+    q1: &str,
+    q2: &str,
+    max_domain: u64,
+    space_limit: u64,
+    budget: &Budget,
+) -> Outcome {
+    let schema = match Schema::parse(schema) {
+        Ok(s) => s,
+        Err(e) => return err(ErrorKind::Parse, format!("schema: {e}")),
+    };
+    let mut names = DomainNames::new();
+    let parse_cq = |names: &mut DomainNames, label: &str, src: &str| {
+        let q = parse_query(&schema, names, src)
+            .map_err(|e| err(ErrorKind::Parse, format!("{label}: {e}")))?;
+        q.as_cq().cloned().ok_or_else(|| {
+            err(ErrorKind::InvalidInput, format!("{label}: containment requires a CQ"))
+        })
+    };
+    let q1 = match parse_cq(&mut names, "q1", q1) {
+        Ok(q) => q,
+        Err(o) => return o,
+    };
+    let q2 = match parse_cq(&mut names, "q2", q2) {
+        Ok(q) => q,
+        Err(o) => return o,
+    };
+    if q1.arity() != q2.arity() {
+        return err(
+            ErrorKind::InvalidInput,
+            format!("arity mismatch: q1/{} vs q2/{}", q1.arity(), q2.arity()),
+        );
+    }
+    match contained_bounded_budgeted(
+        &q1,
+        &q2,
+        max_domain as usize,
+        u128::from(space_limit),
+        budget,
+    ) {
+        BoundedContainment::NoCounterexampleUpTo(n) => Outcome::Contained {
+            verdict: "no-counterexample".into(),
+            bound: Some(n as u64),
+            witness: None,
+        },
+        BoundedContainment::Refuted(d) => Outcome::Contained {
+            verdict: "refuted".into(),
+            bound: None,
+            witness: Some(d.render(&names)),
+        },
+        BoundedContainment::TooLarge => Outcome::Contained {
+            verdict: "too-large".into(),
+            bound: None,
+            witness: None,
+        },
+        BoundedContainment::Exhausted(e) => Outcome::Exhausted {
+            reason: e.reason.to_string(),
+            partial: e.partial.clone(),
+        },
+    }
+}
+
+fn run_finite(
+    schema: &str,
+    views: &str,
+    query: &str,
+    max_domain: u64,
+    space_limit: u64,
+    budget: &Budget,
+) -> Outcome {
+    let pair = match parse_pair(schema, views, query) {
+        Ok(p) => p,
+        Err(o) => return o,
+    };
+    let (cq_views, q) = match require_cq(&pair) {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    match decide_finite_budgeted(
+        &cq_views,
+        &q,
+        max_domain as usize,
+        u128::from(space_limit),
+        budget,
+    ) {
+        Ok(FiniteVerdict::Determined(r)) => Outcome::FiniteOutcome {
+            verdict: "determined".into(),
+            rewriting: Some(r.render("R")),
+            searched_up_to: None,
+            counterexample: None,
+        },
+        Ok(FiniteVerdict::NotDetermined(c)) => Outcome::FiniteOutcome {
+            verdict: "not-determined".into(),
+            rewriting: None,
+            searched_up_to: None,
+            counterexample: Some(render_counterexample(&c, &pair.names)),
+        },
+        Ok(FiniteVerdict::Open { searched_up_to }) => Outcome::FiniteOutcome {
+            verdict: "open".into(),
+            rewriting: None,
+            searched_up_to: Some(searched_up_to as u64),
+            counterexample: None,
+        },
+        Ok(FiniteVerdict::Exhausted(e)) => Outcome::Exhausted {
+            reason: e.reason.to_string(),
+            partial: e.partial.clone(),
+        },
+        Err(e) => vqd_error(e),
+    }
+}
+
+fn run_semantic(
+    schema: &str,
+    views: &str,
+    query: &str,
+    domain: u64,
+    space_limit: u64,
+    budget: &Budget,
+) -> Outcome {
+    let pair = match parse_pair(schema, views, query) {
+        Ok(p) => p,
+        Err(o) => return o,
+    };
+    match check_exhaustive_budgeted(
+        &pair.views,
+        &pair.query,
+        domain as usize,
+        u128::from(space_limit),
+        budget,
+    ) {
+        Ok(SemanticVerdict::NoCounterexampleUpTo(n)) => Outcome::SemanticOutcome {
+            verdict: "no-counterexample".into(),
+            bound: Some(n as u64),
+            counterexample: None,
+        },
+        Ok(SemanticVerdict::NotDetermined(c)) => Outcome::SemanticOutcome {
+            verdict: "not-determined".into(),
+            bound: None,
+            counterexample: Some(render_counterexample(&c, &pair.names)),
+        },
+        Ok(SemanticVerdict::TooLarge { .. }) => Outcome::SemanticOutcome {
+            verdict: "too-large".into(),
+            bound: None,
+            counterexample: None,
+        },
+        Ok(SemanticVerdict::Exhausted(e)) => Outcome::Exhausted {
+            reason: e.reason.to_string(),
+            partial: e.partial.clone(),
+        },
+        Err(e) => vqd_error(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> EngineCtx {
+        EngineCtx { metrics: Arc::new(Metrics::new()), shutdown: CancelToken::new() }
+    }
+
+    fn decide_req(views: &str, query: &str) -> Request {
+        Request::Decide {
+            schema: "E/2,P/1".into(),
+            views: views.into(),
+            query: query.into(),
+        }
+    }
+
+    #[test]
+    fn decide_path_pair_is_determined_with_rewriting() {
+        let out = execute(
+            &decide_req("V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z)."),
+            &Budget::unlimited(),
+            &ctx(),
+        );
+        match out {
+            Outcome::Decided { determined: true, rewriting: Some(r) } => {
+                assert!(r.contains("V("), "rewriting must be over σ_V, got {r}");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_failures_are_structured_errors() {
+        let out = execute(
+            &decide_req("V(x,y) :- E(x,y).", "Q(x :- garbage"),
+            &Budget::unlimited(),
+            &ctx(),
+        );
+        match out {
+            Outcome::Error { kind: ErrorKind::Parse, message } => {
+                assert!(message.contains("query"));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let out = execute(
+            &Request::Decide {
+                schema: "E/bad".into(),
+                views: String::new(),
+                query: String::new(),
+            },
+            &Budget::unlimited(),
+            &ctx(),
+        );
+        assert!(matches!(out, Outcome::Error { kind: ErrorKind::Parse, .. }));
+    }
+
+    #[test]
+    fn non_cq_views_are_invalid_input() {
+        let out = execute(
+            &decide_req("V(x) :- E(x,y), !P(y).", "Q(x) :- P(x)."),
+            &Budget::unlimited(),
+            &ctx(),
+        );
+        assert!(
+            matches!(out, Outcome::Error { kind: ErrorKind::InvalidInput, .. }),
+            "got {out:?}"
+        );
+    }
+
+    #[test]
+    fn exhaustion_is_an_outcome_not_an_error() {
+        let out = execute(
+            &Request::Finite {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,z), E(z,y).".into(),
+                query: "Q(x,y) :- E(x,a), E(a,b), E(b,y).".into(),
+                max_domain: 3,
+                space_limit: 1 << 22,
+            },
+            &Budget::unlimited().with_step_limit(2),
+            &ctx(),
+        );
+        match out {
+            Outcome::Exhausted { reason, partial } => {
+                assert_eq!(reason, "step limit reached");
+                assert!(!partial.is_empty());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn containment_reports_witnesses() {
+        let out = run_containment(
+            "E/2,P/1",
+            "Q(x) :- P(x).",
+            "Q(x) :- P(x), E(x,x).",
+            2,
+            1 << 16,
+            &Budget::unlimited(),
+        );
+        match out {
+            Outcome::Contained { verdict, witness: Some(w), .. } => {
+                assert_eq!(verdict, "refuted");
+                assert!(w.contains("P"));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let out = run_containment(
+            "E/2,P/1",
+            "Q(x) :- P(x), E(x,x).",
+            "Q(x) :- P(x).",
+            2,
+            1 << 16,
+            &Budget::unlimited(),
+        );
+        assert!(
+            matches!(out, Outcome::Contained { ref verdict, .. } if verdict == "no-counterexample"),
+            "got {out:?}"
+        );
+    }
+
+    #[test]
+    fn certain_answers_on_identity_views() {
+        let out = execute(
+            &Request::Certain {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,y).".into(),
+                query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+                extent: "V(A,B). V(B,C).".into(),
+            },
+            &Budget::unlimited(),
+            &ctx(),
+        );
+        match out {
+            Outcome::CertainAnswers { answers, count } => {
+                assert_eq!(count, 1);
+                assert!(answers.contains('A') && answers.contains('C'), "{answers}");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_trips_the_token() {
+        let c = ctx();
+        assert!(!c.shutdown.is_canceled());
+        let out = execute(&Request::Shutdown, &Budget::unlimited(), &c);
+        assert_eq!(out, Outcome::ShuttingDown);
+        assert!(c.shutdown.is_canceled());
+    }
+}

@@ -1,0 +1,60 @@
+//! `vqd-server`: a budget-governed determinacy/rewriting service.
+//!
+//! This crate turns the workspace's effective procedures — unrestricted
+//! CQ determinacy via the chase test (Theorem 3.7), canonical rewriting
+//! extraction, certain-answer evaluation under sound views, bounded
+//! containment, and the finite/semantic searches — into a long-running
+//! TCP service with production-shaped resource governance:
+//!
+//! * **wire protocol** ([`proto`]): newline-delimited JSON envelopes
+//!   with a version tag, correlation ids, client-requested limits, and
+//!   a structured error taxonomy;
+//! * **admission control** ([`pool`]): a bounded request queue; a full
+//!   queue rejects instantly with `overloaded` instead of buffering;
+//! * **budget clamping** ([`server`]): every request runs under
+//!   `min(client limits, server caps)` via [`vqd_budget::Budget::min_of`],
+//!   degrading to structured `exhausted` replies with partial progress;
+//! * **graceful shutdown**: a shared [`vqd_budget::CancelToken`] drains
+//!   in-flight work (canceled budgets report what was done) and joins
+//!   every thread;
+//! * **client library** ([`client`]): a blocking [`Client`] for tests,
+//!   the CLI, and the `loadgen` bench.
+//!
+//! Everything is `std`-only: `std::net` sockets, `std::thread` workers,
+//! `std::sync::mpsc` queues, and the workspace's [`serde::json`] shim
+//! for the wire format.
+//!
+//! ```no_run
+//! use vqd_server::{Client, Limits, Request, ServerConfig};
+//!
+//! let handle = vqd_server::spawn(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let reply = client
+//!     .call(
+//!         Limits { deadline_ms: Some(1000), ..Limits::none() },
+//!         Request::Decide {
+//!             schema: "E/2".into(),
+//!             views: "V(x,y) :- E(x,y).".into(),
+//!             query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+//!         },
+//!     )
+//!     .unwrap();
+//! println!("{}", reply.outcome);
+//! handle.shutdown();
+//! ```
+
+pub mod client;
+pub mod engine;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use metrics::Metrics;
+pub use pool::{Pool, QueueHandle, SubmitError};
+pub use proto::{
+    Envelope, ErrorKind, Limits, Outcome, Request, Response, WireCounterexample, WireMetrics,
+    WireStats, PROTOCOL_VERSION,
+};
+pub use server::{spawn, ServerCaps, ServerConfig, ServerHandle};

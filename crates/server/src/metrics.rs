@@ -1,0 +1,116 @@
+//! Lock-free service counters.
+//!
+//! One [`Metrics`] instance is shared (behind an `Arc`) by the acceptor,
+//! every connection thread, and every worker; all fields are relaxed
+//! atomics — these are observability counters, not synchronization.
+
+use crate::proto::WireMetrics;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Service-wide counters; see [`WireMetrics`] for field meanings.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests admitted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests that produced an `ok` outcome.
+    pub completed_ok: AtomicU64,
+    /// Requests whose budget tripped.
+    pub exhausted: AtomicU64,
+    /// Requests rejected by admission control.
+    pub rejected: AtomicU64,
+    /// `error`-status responses written.
+    pub errors: AtomicU64,
+    /// Requests currently queued.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: AtomicU64,
+    /// Connections currently open.
+    pub connections_open: AtomicU64,
+    /// Connections accepted since start.
+    pub connections_total: AtomicU64,
+    /// Worker threads serving the queue (set once at startup).
+    pub workers: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records a request entering the queue and returns the observed
+    /// depth. Call *before* the actual `try_send` (and undo a rejection
+    /// with [`Metrics::unenqueued`]) so a fast worker's [`Metrics::dequeued`]
+    /// can never observe the counter below zero.
+    pub fn enqueued(&self) -> u64 {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Folds a *successful* admission's observed depth into the
+    /// high-water mark. Kept separate from [`Metrics::enqueued`] so
+    /// rejected (speculatively counted) submissions don't inflate it.
+    pub fn admitted(&self, observed_depth: u64) {
+        self.max_queue_depth.fetch_max(observed_depth, Ordering::Relaxed);
+    }
+
+    /// Undoes [`Metrics::enqueued`] after a rejected submission.
+    pub fn unenqueued(&self) {
+        self.accepted.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker picking a request off the queue.
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot for the wire.
+    pub fn snapshot(&self) -> WireMetrics {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        WireMetrics {
+            accepted: get(&self.accepted),
+            completed_ok: get(&self.completed_ok),
+            exhausted: get(&self.exhausted),
+            rejected: get(&self.rejected),
+            errors: get(&self.errors),
+            queue_depth: get(&self.queue_depth),
+            max_queue_depth: get(&self.max_queue_depth),
+            connections_open: get(&self.connections_open),
+            connections_total: get(&self.connections_total),
+            workers: get(&self.workers),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_depth_tracks_high_water_mark() {
+        let m = Metrics::new();
+        m.admitted(m.enqueued());
+        m.admitted(m.enqueued());
+        m.admitted(m.enqueued());
+        m.dequeued();
+        m.admitted(m.enqueued());
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 4);
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.max_queue_depth, 3);
+    }
+
+    #[test]
+    fn rejected_submissions_do_not_move_the_high_water_mark() {
+        let m = Metrics::new();
+        m.admitted(m.enqueued());
+        let depth = m.enqueued();
+        m.unenqueued();
+        assert!(depth > 1, "speculative depth was observed");
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.max_queue_depth, 1);
+    }
+}

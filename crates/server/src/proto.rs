@@ -1,0 +1,1044 @@
+//! The `vqd-server` wire protocol.
+//!
+//! Newline-delimited JSON over TCP: each request is one [`Envelope`] on
+//! one line, each reply one [`Response`] on one line, in order. The
+//! envelope carries a protocol version, a client-chosen correlation id,
+//! the client's *requested* resource [`Limits`] (the server clamps them
+//! against its own caps via [`vqd_budget::Budget::min_of`]), and one
+//! [`Request`] naming an effective procedure from the paper.
+//!
+//! Every reply states how the request ended ([`Outcome`]) plus the
+//! [`WireStats`] the budget observed, so clients can distinguish:
+//!
+//! * `ok` — the procedure ran to completion; the verdict is inside;
+//! * `exhausted` — a resource limit tripped ([`Outcome::Exhausted`]
+//!   carries the reason and the partial-progress description);
+//! * `overloaded` — admission control rejected the request *before*
+//!   doing any work ([`Outcome::Overloaded`] reports the queue state);
+//! * `error` — the request itself was bad ([`ErrorKind`] taxonomy).
+//!
+//! Queries, views, schemas, and instances travel as source text in the
+//! workspace's surface syntax (`Q(x,z) :- E(x,y), E(y,z).`), which keeps
+//! the protocol stable across internal representation changes.
+
+use serde::json::{self, Value};
+use vqd_budget::WorkStats;
+
+/// Version tag carried in every envelope and response. Servers reject
+/// other versions with [`ErrorKind::Version`] rather than guessing.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Client-requested resource limits. `None` means "no preference" —
+/// the server still applies its own caps.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Wall-clock limit in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Checkpoint (work-step) limit.
+    pub step_limit: Option<u64>,
+    /// Materialized-tuple limit.
+    pub tuple_limit: Option<u64>,
+}
+
+impl Limits {
+    /// No client-side preferences.
+    pub fn none() -> Limits {
+        Limits::default()
+    }
+
+    /// Builds the client-side [`vqd_budget::Budget`] these limits ask for.
+    pub fn to_budget(&self) -> vqd_budget::Budget {
+        let mut b = vqd_budget::Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(steps) = self.step_limit {
+            b = b.with_step_limit(steps);
+        }
+        if let Some(tuples) = self.tuple_limit {
+            b = b.with_tuple_limit(tuples);
+        }
+        b
+    }
+}
+
+/// One effective procedure, as a service request. Query/view/instance
+/// payloads are source text parsed server-side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Unrestricted CQ determinacy (Theorem 3.7 chase test) plus the
+    /// canonical rewriting when determined.
+    Decide {
+        /// Schema spec, e.g. `"E/2,P/1"`.
+        schema: String,
+        /// View definitions (one or more rules).
+        views: String,
+        /// The query (one rule).
+        query: String,
+    },
+    /// Canonical rewriting extraction: like `Decide` but the answer is
+    /// the (minimized) rewriting itself.
+    Rewrite {
+        /// Schema spec.
+        schema: String,
+        /// View definitions.
+        views: String,
+        /// The query.
+        query: String,
+    },
+    /// Certain answers under sound views on a concrete view extent.
+    Certain {
+        /// Schema spec.
+        schema: String,
+        /// View definitions.
+        views: String,
+        /// The query.
+        query: String,
+        /// Ground facts over the *view output* schema, e.g. `"V(a,b)."`.
+        extent: String,
+    },
+    /// Bounded semantic containment `q1 ⊆ q2` by exhaustive search.
+    Containment {
+        /// Schema spec.
+        schema: String,
+        /// Left query.
+        q1: String,
+        /// Right query.
+        q2: String,
+        /// Largest active-domain size to search.
+        max_domain: u64,
+        /// Cap on enumerated instances.
+        space_limit: u64,
+    },
+    /// Finite determinacy: sound positive via the chase, bounded
+    /// counterexample search, `open` otherwise.
+    Finite {
+        /// Schema spec.
+        schema: String,
+        /// View definitions.
+        views: String,
+        /// The query.
+        query: String,
+        /// Largest active-domain size to search.
+        max_domain: u64,
+        /// Cap on enumerated instances.
+        space_limit: u64,
+    },
+    /// One exhaustive semantic determinacy scan at a fixed domain size.
+    Semantic {
+        /// Schema spec.
+        schema: String,
+        /// View definitions.
+        views: String,
+        /// The query.
+        query: String,
+        /// The active-domain size to scan.
+        domain: u64,
+        /// Cap on enumerated instances.
+        space_limit: u64,
+    },
+    /// Server metrics snapshot.
+    Stats,
+    /// Asks the server to drain and stop.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire name of this operation.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Decide { .. } => "decide_unrestricted",
+            Request::Rewrite { .. } => "rewrite",
+            Request::Certain { .. } => "certain_sound",
+            Request::Containment { .. } => "containment",
+            Request::Finite { .. } => "decide_finite",
+            Request::Semantic { .. } => "check_exhaustive",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One request on the wire: version, correlation id, limits, operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    pub version: u64,
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: String,
+    /// Requested resource limits.
+    pub limits: Limits,
+    /// The operation.
+    pub request: Request,
+}
+
+impl Envelope {
+    /// Wraps a request in a current-version envelope.
+    pub fn new(id: impl Into<String>, limits: Limits, request: Request) -> Envelope {
+        Envelope { version: PROTOCOL_VERSION, id: id.into(), limits, request }
+    }
+}
+
+/// Resource accounting echoed with every response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Checkpoints passed.
+    pub steps: u64,
+    /// Tuples charged.
+    pub tuples: u64,
+    /// Wall-clock time in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl From<WorkStats> for WireStats {
+    fn from(w: WorkStats) -> WireStats {
+        WireStats {
+            steps: w.steps,
+            tuples: w.tuples,
+            elapsed_ms: w.elapsed.as_millis().min(u128::from(u64::MAX)) as u64,
+        }
+    }
+}
+
+/// The error taxonomy for `error` responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not a valid protocol envelope (bad JSON, missing
+    /// fields, unknown op).
+    Protocol,
+    /// The envelope's version is not [`PROTOCOL_VERSION`].
+    Version,
+    /// A query/view/schema/instance payload failed to parse.
+    Parse,
+    /// Structurally invalid input (non-CQ view, arity clash, …).
+    InvalidInput,
+    /// Two payloads that must share a schema do not.
+    SchemaMismatch,
+    /// The operation is not supported by this server.
+    Unsupported,
+    /// The request died inside the engine (a bug server-side; the worker
+    /// survived and the connection stays usable).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Version => "version",
+            ErrorKind::Parse => "parse",
+            ErrorKind::InvalidInput => "invalid-input",
+            ErrorKind::SchemaMismatch => "schema-mismatch",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Inverse of [`ErrorKind::as_str`].
+    pub fn from_wire(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "protocol" => ErrorKind::Protocol,
+            "version" => ErrorKind::Version,
+            "parse" => ErrorKind::Parse,
+            "invalid-input" => ErrorKind::InvalidInput,
+            "schema-mismatch" => ErrorKind::SchemaMismatch,
+            "unsupported" => ErrorKind::Unsupported,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A rendered determinacy counterexample: two instances with equal view
+/// images and different query answers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireCounterexample {
+    /// First instance.
+    pub d1: String,
+    /// Second instance.
+    pub d2: String,
+    /// The shared view image.
+    pub image: String,
+    /// `Q(d1)`.
+    pub q1: String,
+    /// `Q(d2)`.
+    pub q2: String,
+}
+
+/// Server metrics snapshot on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Requests that produced an `ok` outcome.
+    pub completed_ok: u64,
+    /// Requests whose budget tripped (`exhausted` outcomes).
+    pub exhausted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// `error`-status responses (protocol + engine errors).
+    pub errors: u64,
+    /// Requests currently queued (not yet picked up by a worker).
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Connections accepted since start.
+    pub connections_total: u64,
+    /// Worker threads serving the queue.
+    pub workers: u64,
+}
+
+/// How a request ended, with its payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Verdict of the unrestricted chase test.
+    Decided {
+        /// Whether `V` determines `Q` over unrestricted instances.
+        determined: bool,
+        /// The minimized exact rewriting over `σ_V`, when determined.
+        rewriting: Option<String>,
+    },
+    /// Verdict of rewriting extraction.
+    Rewritten {
+        /// Whether an exact rewriting exists (over unrestricted
+        /// instances; Theorem 3.3 makes this language-independent).
+        exists: bool,
+        /// The rewriting, when it exists.
+        rewriting: Option<String>,
+    },
+    /// Certain answers under sound views.
+    CertainAnswers {
+        /// Rendered answer relation, e.g. `{(a,b), (b,c)}`.
+        answers: String,
+        /// Number of certain tuples.
+        count: u64,
+    },
+    /// Verdict of the bounded containment check.
+    Contained {
+        /// `"no-counterexample"`, `"refuted"`, or `"too-large"`.
+        verdict: String,
+        /// Searched bound (for `no-counterexample`).
+        bound: Option<u64>,
+        /// Rendered witness instance (for `refuted`).
+        witness: Option<String>,
+    },
+    /// Verdict of the finite determinacy procedure.
+    FiniteOutcome {
+        /// `"determined"`, `"not-determined"`, or `"open"`.
+        verdict: String,
+        /// The exact rewriting (for `determined`).
+        rewriting: Option<String>,
+        /// Largest domain exhaustively searched (for `open`).
+        searched_up_to: Option<u64>,
+        /// The witness pair (for `not-determined`).
+        counterexample: Option<WireCounterexample>,
+    },
+    /// Verdict of one exhaustive semantic scan.
+    SemanticOutcome {
+        /// `"no-counterexample"`, `"not-determined"`, or `"too-large"`.
+        verdict: String,
+        /// The scanned bound (for `no-counterexample`).
+        bound: Option<u64>,
+        /// The witness pair (for `not-determined`).
+        counterexample: Option<WireCounterexample>,
+    },
+    /// Metrics snapshot.
+    StatsSnapshot(WireMetrics),
+    /// The server acknowledged [`Request::Shutdown`] and is draining.
+    ShuttingDown,
+    /// A resource limit tripped before the procedure finished.
+    Exhausted {
+        /// Which limit (`"deadline exceeded"`, `"canceled"`, …).
+        reason: String,
+        /// Human-readable partial progress.
+        partial: String,
+    },
+    /// Admission control rejected the request; no work was done. Retry
+    /// against a less loaded server (or later).
+    Overloaded {
+        /// Queue occupancy observed at rejection time.
+        queue_depth: u64,
+        /// The bounded queue's capacity.
+        queue_capacity: u64,
+    },
+    /// The request was invalid.
+    Error {
+        /// Taxonomy bucket.
+        kind: ErrorKind,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl Outcome {
+    /// The wire `status` field for this outcome.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Outcome::Exhausted { .. } => "exhausted",
+            Outcome::Overloaded { .. } => "overloaded",
+            Outcome::Error { .. } => "error",
+            _ => "ok",
+        }
+    }
+}
+
+/// One reply on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Protocol version.
+    pub version: u64,
+    /// Correlation id echoed from the envelope (empty when the envelope
+    /// was too malformed to recover one).
+    pub id: String,
+    /// How the request ended.
+    pub outcome: Outcome,
+    /// Budget accounting for the work performed server-side.
+    pub work: WireStats,
+}
+
+impl Response {
+    /// Builds a current-version response.
+    pub fn new(id: impl Into<String>, outcome: Outcome, work: WireStats) -> Response {
+        Response { version: PROTOCOL_VERSION, id: id.into(), outcome, work }
+    }
+
+    /// An `error` response with zero work.
+    pub fn error(id: impl Into<String>, kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::new(
+            id,
+            Outcome::Error { kind, message: message.into() },
+            WireStats::default(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn num_field(obj: &mut Vec<(String, Value)>, key: &str, v: Option<u64>) {
+    if let Some(v) = v {
+        obj.push((key.to_owned(), Value::from(v)));
+    }
+}
+
+fn str_field(obj: &mut Vec<(String, Value)>, key: &str, v: &Option<String>) {
+    if let Some(v) = v {
+        obj.push((key.to_owned(), Value::from(v.clone())));
+    }
+}
+
+impl Envelope {
+    /// Encodes the envelope as one compact JSON document (no newline).
+    pub fn to_json(&self) -> Value {
+        let mut req: Vec<(String, Value)> =
+            vec![("op".to_owned(), Value::from(self.request.op()))];
+        let mut s = |k: &str, v: &str| req.push((k.to_owned(), Value::from(v)));
+        match &self.request {
+            Request::Ping | Request::Stats | Request::Shutdown => {}
+            Request::Decide { schema, views, query }
+            | Request::Rewrite { schema, views, query } => {
+                s("schema", schema);
+                s("views", views);
+                s("query", query);
+            }
+            Request::Certain { schema, views, query, extent } => {
+                s("schema", schema);
+                s("views", views);
+                s("query", query);
+                s("extent", extent);
+            }
+            Request::Containment { schema, q1, q2, max_domain, space_limit } => {
+                s("schema", schema);
+                s("q1", q1);
+                s("q2", q2);
+                req.push(("max_domain".to_owned(), Value::from(*max_domain)));
+                req.push(("space_limit".to_owned(), Value::from(*space_limit)));
+            }
+            Request::Finite { schema, views, query, max_domain, space_limit } => {
+                s("schema", schema);
+                s("views", views);
+                s("query", query);
+                req.push(("max_domain".to_owned(), Value::from(*max_domain)));
+                req.push(("space_limit".to_owned(), Value::from(*space_limit)));
+            }
+            Request::Semantic { schema, views, query, domain, space_limit } => {
+                s("schema", schema);
+                s("views", views);
+                s("query", query);
+                req.push(("domain".to_owned(), Value::from(*domain)));
+                req.push(("space_limit".to_owned(), Value::from(*space_limit)));
+            }
+        }
+        let mut obj: Vec<(String, Value)> = vec![
+            ("v".to_owned(), Value::from(self.version)),
+            ("id".to_owned(), Value::from(self.id.clone())),
+        ];
+        num_field(&mut obj, "deadline_ms", self.limits.deadline_ms);
+        num_field(&mut obj, "step_limit", self.limits.step_limit);
+        num_field(&mut obj, "tuple_limit", self.limits.tuple_limit);
+        obj.push(("request".to_owned(), Value::Obj(req)));
+        Value::Obj(obj)
+    }
+
+    /// Decodes an envelope from parsed JSON. `Err` carries the error
+    /// kind and message (plus whatever correlation id was recoverable).
+    pub fn from_json(v: &Value) -> Result<Envelope, (ErrorKind, String, String)> {
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        let fail = |kind, msg: &str| Err((kind, msg.to_owned(), id.clone()));
+        let Some(version) = v.get("v").and_then(Value::as_u64) else {
+            return fail(ErrorKind::Protocol, "missing or non-numeric `v`");
+        };
+        if version != PROTOCOL_VERSION {
+            return fail(
+                ErrorKind::Version,
+                &format!("unsupported protocol version {version} (expected {PROTOCOL_VERSION})"),
+            );
+        }
+        let limits = Limits {
+            deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+            step_limit: v.get("step_limit").and_then(Value::as_u64),
+            tuple_limit: v.get("tuple_limit").and_then(Value::as_u64),
+        };
+        let Some(req) = v.get("request") else {
+            return fail(ErrorKind::Protocol, "missing `request`");
+        };
+        let Some(op) = req.get("op").and_then(Value::as_str) else {
+            return fail(ErrorKind::Protocol, "missing `request.op`");
+        };
+        let text = |key: &str| -> Result<String, (ErrorKind, String, String)> {
+            match req.get(key).and_then(Value::as_str) {
+                Some(s) => Ok(s.to_owned()),
+                None => Err((
+                    ErrorKind::Protocol,
+                    format!("op `{op}` needs string field `{key}`"),
+                    id.clone(),
+                )),
+            }
+        };
+        let num = |key: &str, default: u64| -> Result<u64, (ErrorKind, String, String)> {
+            match req.get(key) {
+                None => Ok(default),
+                Some(v) => v.as_u64().ok_or((
+                    ErrorKind::Protocol,
+                    format!("op `{op}` field `{key}` must be a non-negative integer"),
+                    id.clone(),
+                )),
+            }
+        };
+        let request = match op {
+            "ping" => Request::Ping,
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            "decide_unrestricted" => Request::Decide {
+                schema: text("schema")?,
+                views: text("views")?,
+                query: text("query")?,
+            },
+            "rewrite" => Request::Rewrite {
+                schema: text("schema")?,
+                views: text("views")?,
+                query: text("query")?,
+            },
+            "certain_sound" => Request::Certain {
+                schema: text("schema")?,
+                views: text("views")?,
+                query: text("query")?,
+                extent: text("extent")?,
+            },
+            "containment" => Request::Containment {
+                schema: text("schema")?,
+                q1: text("q1")?,
+                q2: text("q2")?,
+                max_domain: num("max_domain", 3)?,
+                space_limit: num("space_limit", 1 << 22)?,
+            },
+            "decide_finite" => Request::Finite {
+                schema: text("schema")?,
+                views: text("views")?,
+                query: text("query")?,
+                max_domain: num("max_domain", 3)?,
+                space_limit: num("space_limit", 1 << 22)?,
+            },
+            "check_exhaustive" => Request::Semantic {
+                schema: text("schema")?,
+                views: text("views")?,
+                query: text("query")?,
+                domain: num("domain", 2)?,
+                space_limit: num("space_limit", 1 << 22)?,
+            },
+            other => {
+                return fail(ErrorKind::Unsupported, &format!("unknown op `{other}`"));
+            }
+        };
+        Ok(Envelope { version, id, limits, request })
+    }
+
+    /// Parses an envelope from one wire line.
+    pub fn from_line(line: &str) -> Result<Envelope, (ErrorKind, String, String)> {
+        let v = json::parse(line)
+            .map_err(|e| (ErrorKind::Protocol, e.to_string(), String::new()))?;
+        Envelope::from_json(&v)
+    }
+}
+
+fn counterexample_to_json(c: &WireCounterexample) -> Value {
+    Value::object([
+        ("d1", Value::from(c.d1.clone())),
+        ("d2", Value::from(c.d2.clone())),
+        ("image", Value::from(c.image.clone())),
+        ("q1", Value::from(c.q1.clone())),
+        ("q2", Value::from(c.q2.clone())),
+    ])
+}
+
+fn counterexample_from_json(v: &Value) -> Option<WireCounterexample> {
+    let f = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_owned);
+    Some(WireCounterexample {
+        d1: f("d1")?,
+        d2: f("d2")?,
+        image: f("image")?,
+        q1: f("q1")?,
+        q2: f("q2")?,
+    })
+}
+
+impl Response {
+    /// Encodes the response as one compact JSON document (no newline).
+    pub fn to_json(&self) -> Value {
+        let mut result: Vec<(String, Value)> = Vec::new();
+        let kind: &str = match &self.outcome {
+            Outcome::Pong => "pong",
+            Outcome::Decided { determined, rewriting } => {
+                result.push(("determined".to_owned(), Value::from(*determined)));
+                str_field(&mut result, "rewriting", rewriting);
+                "decided"
+            }
+            Outcome::Rewritten { exists, rewriting } => {
+                result.push(("exists".to_owned(), Value::from(*exists)));
+                str_field(&mut result, "rewriting", rewriting);
+                "rewritten"
+            }
+            Outcome::CertainAnswers { answers, count } => {
+                result.push(("answers".to_owned(), Value::from(answers.clone())));
+                result.push(("count".to_owned(), Value::from(*count)));
+                "certain"
+            }
+            Outcome::Contained { verdict, bound, witness } => {
+                result.push(("verdict".to_owned(), Value::from(verdict.clone())));
+                num_field(&mut result, "bound", *bound);
+                str_field(&mut result, "witness", witness);
+                "containment"
+            }
+            Outcome::FiniteOutcome { verdict, rewriting, searched_up_to, counterexample } => {
+                result.push(("verdict".to_owned(), Value::from(verdict.clone())));
+                str_field(&mut result, "rewriting", rewriting);
+                num_field(&mut result, "searched_up_to", *searched_up_to);
+                if let Some(c) = counterexample {
+                    result.push(("counterexample".to_owned(), counterexample_to_json(c)));
+                }
+                "finite"
+            }
+            Outcome::SemanticOutcome { verdict, bound, counterexample } => {
+                result.push(("verdict".to_owned(), Value::from(verdict.clone())));
+                num_field(&mut result, "bound", *bound);
+                if let Some(c) = counterexample {
+                    result.push(("counterexample".to_owned(), counterexample_to_json(c)));
+                }
+                "semantic"
+            }
+            Outcome::StatsSnapshot(m) => {
+                for (k, v) in [
+                    ("accepted", m.accepted),
+                    ("completed_ok", m.completed_ok),
+                    ("exhausted", m.exhausted),
+                    ("rejected", m.rejected),
+                    ("errors", m.errors),
+                    ("queue_depth", m.queue_depth),
+                    ("max_queue_depth", m.max_queue_depth),
+                    ("connections_open", m.connections_open),
+                    ("connections_total", m.connections_total),
+                    ("workers", m.workers),
+                ] {
+                    result.push((k.to_owned(), Value::from(v)));
+                }
+                "stats"
+            }
+            Outcome::ShuttingDown => "shutting-down",
+            Outcome::Exhausted { reason, partial } => {
+                result.push(("reason".to_owned(), Value::from(reason.clone())));
+                result.push(("partial".to_owned(), Value::from(partial.clone())));
+                "exhausted"
+            }
+            Outcome::Overloaded { queue_depth, queue_capacity } => {
+                result.push(("queue_depth".to_owned(), Value::from(*queue_depth)));
+                result.push(("queue_capacity".to_owned(), Value::from(*queue_capacity)));
+                "overloaded"
+            }
+            Outcome::Error { kind, message } => {
+                result.push(("error_kind".to_owned(), Value::from(kind.as_str())));
+                result.push(("message".to_owned(), Value::from(message.clone())));
+                "error"
+            }
+        };
+        result.insert(0, ("kind".to_owned(), Value::from(kind)));
+        Value::object([
+            ("v", Value::from(self.version)),
+            ("id", Value::from(self.id.clone())),
+            ("status", Value::from(self.outcome.status())),
+            (
+                "work",
+                Value::object([
+                    ("steps", Value::from(self.work.steps)),
+                    ("tuples", Value::from(self.work.tuples)),
+                    ("elapsed_ms", Value::from(self.work.elapsed_ms)),
+                ]),
+            ),
+            ("result", Value::Obj(result)),
+        ])
+    }
+
+    /// Decodes a response from parsed JSON.
+    pub fn from_json(v: &Value) -> Result<Response, String> {
+        let version = v.get("v").and_then(Value::as_u64).ok_or("missing `v`")?;
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("missing `id`")?
+            .to_owned();
+        let work = match v.get("work") {
+            Some(w) => WireStats {
+                steps: w.get("steps").and_then(Value::as_u64).unwrap_or(0),
+                tuples: w.get("tuples").and_then(Value::as_u64).unwrap_or(0),
+                elapsed_ms: w.get("elapsed_ms").and_then(Value::as_u64).unwrap_or(0),
+            },
+            None => WireStats::default(),
+        };
+        let r = v.get("result").ok_or("missing `result`")?;
+        let kind = r.get("kind").and_then(Value::as_str).ok_or("missing `result.kind`")?;
+        let text = |k: &str| -> Result<String, String> {
+            r.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("result kind `{kind}` needs string `{k}`"))
+        };
+        let opt_text = |k: &str| r.get(k).and_then(Value::as_str).map(str::to_owned);
+        let outcome = match kind {
+            "pong" => Outcome::Pong,
+            "decided" => Outcome::Decided {
+                determined: r
+                    .get("determined")
+                    .and_then(Value::as_bool)
+                    .ok_or("missing `determined`")?,
+                rewriting: opt_text("rewriting"),
+            },
+            "rewritten" => Outcome::Rewritten {
+                exists: r.get("exists").and_then(Value::as_bool).ok_or("missing `exists`")?,
+                rewriting: opt_text("rewriting"),
+            },
+            "certain" => Outcome::CertainAnswers {
+                answers: text("answers")?,
+                count: r.get("count").and_then(Value::as_u64).unwrap_or(0),
+            },
+            "containment" => Outcome::Contained {
+                verdict: text("verdict")?,
+                bound: r.get("bound").and_then(Value::as_u64),
+                witness: opt_text("witness"),
+            },
+            "finite" => Outcome::FiniteOutcome {
+                verdict: text("verdict")?,
+                rewriting: opt_text("rewriting"),
+                searched_up_to: r.get("searched_up_to").and_then(Value::as_u64),
+                counterexample: r.get("counterexample").and_then(counterexample_from_json),
+            },
+            "semantic" => Outcome::SemanticOutcome {
+                verdict: text("verdict")?,
+                bound: r.get("bound").and_then(Value::as_u64),
+                counterexample: r.get("counterexample").and_then(counterexample_from_json),
+            },
+            "stats" => {
+                let g = |k: &str| r.get(k).and_then(Value::as_u64).unwrap_or(0);
+                Outcome::StatsSnapshot(WireMetrics {
+                    accepted: g("accepted"),
+                    completed_ok: g("completed_ok"),
+                    exhausted: g("exhausted"),
+                    rejected: g("rejected"),
+                    errors: g("errors"),
+                    queue_depth: g("queue_depth"),
+                    max_queue_depth: g("max_queue_depth"),
+                    connections_open: g("connections_open"),
+                    connections_total: g("connections_total"),
+                    workers: g("workers"),
+                })
+            }
+            "shutting-down" => Outcome::ShuttingDown,
+            "exhausted" => Outcome::Exhausted {
+                reason: text("reason")?,
+                partial: text("partial")?,
+            },
+            "overloaded" => Outcome::Overloaded {
+                queue_depth: r.get("queue_depth").and_then(Value::as_u64).unwrap_or(0),
+                queue_capacity: r.get("queue_capacity").and_then(Value::as_u64).unwrap_or(0),
+            },
+            "error" => Outcome::Error {
+                kind: r
+                    .get("error_kind")
+                    .and_then(Value::as_str)
+                    .and_then(ErrorKind::from_wire)
+                    .unwrap_or(ErrorKind::Internal),
+                message: text("message")?,
+            },
+            other => return Err(format!("unknown result kind `{other}`")),
+        };
+        Ok(Response { version, id, outcome, work })
+    }
+
+    /// Parses a response from one wire line.
+    pub fn from_line(line: &str) -> Result<Response, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        Response::from_json(&v)
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    /// Human-oriented one-to-few-line rendering (used by `vqd request`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Pong => write!(f, "pong"),
+            Outcome::Decided { determined: true, rewriting } => {
+                write!(f, "V DETERMINES Q (unrestricted)")?;
+                if let Some(r) = rewriting {
+                    write!(f, "\nrewriting: {r}")?;
+                }
+                Ok(())
+            }
+            Outcome::Decided { determined: false, .. } => {
+                write!(f, "V does NOT determine Q (unrestricted)")
+            }
+            Outcome::Rewritten { exists: true, rewriting } => {
+                write!(f, "exact rewriting: {}", rewriting.as_deref().unwrap_or("<none>"))
+            }
+            Outcome::Rewritten { exists: false, .. } => {
+                write!(f, "no exact rewriting exists (in any language)")
+            }
+            Outcome::CertainAnswers { answers, count } => {
+                write!(f, "certain answers ({count}): {answers}")
+            }
+            Outcome::Contained { verdict, bound, witness } => {
+                write!(f, "containment: {verdict}")?;
+                if let Some(b) = bound {
+                    write!(f, " (searched domains ≤ {b})")?;
+                }
+                if let Some(w) = witness {
+                    write!(f, "\nwitness:\n{w}")?;
+                }
+                Ok(())
+            }
+            Outcome::FiniteOutcome { verdict, rewriting, searched_up_to, counterexample } => {
+                write!(f, "finite determinacy: {verdict}")?;
+                if let Some(r) = rewriting {
+                    write!(f, "\nrewriting: {r}")?;
+                }
+                if let Some(n) = searched_up_to {
+                    write!(f, " (no counterexample with ≤ {n} values)")?;
+                }
+                if let Some(c) = counterexample {
+                    write!(f, "\nD1:\n{}\nD2:\n{}", c.d1, c.d2)?;
+                }
+                Ok(())
+            }
+            Outcome::SemanticOutcome { verdict, bound, counterexample } => {
+                write!(f, "semantic scan: {verdict}")?;
+                if let Some(b) = bound {
+                    write!(f, " (domain {b})")?;
+                }
+                if let Some(c) = counterexample {
+                    write!(f, "\nD1:\n{}\nD2:\n{}", c.d1, c.d2)?;
+                }
+                Ok(())
+            }
+            Outcome::StatsSnapshot(m) => write!(
+                f,
+                "accepted {} | ok {} | exhausted {} | rejected {} | errors {} | \
+                 queue {} (max {}) | conns {} open / {} total | {} workers",
+                m.accepted,
+                m.completed_ok,
+                m.exhausted,
+                m.rejected,
+                m.errors,
+                m.queue_depth,
+                m.max_queue_depth,
+                m.connections_open,
+                m.connections_total,
+                m.workers
+            ),
+            Outcome::ShuttingDown => write!(f, "server is draining and shutting down"),
+            Outcome::Exhausted { reason, partial } => {
+                write!(f, "exhausted ({reason}): {partial}")
+            }
+            Outcome::Overloaded { queue_depth, queue_capacity } => {
+                write!(f, "overloaded: queue {queue_depth}/{queue_capacity} — retry later")
+            }
+            Outcome::Error { kind, message } => {
+                write!(f, "error [{}]: {message}", kind.as_str())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_envelope(e: Envelope) {
+        let line = e.to_json().to_string();
+        assert!(!line.contains('\n'), "wire lines must be single-line");
+        let back = Envelope::from_line(&line).expect("round trip");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn envelopes_round_trip() {
+        round_trip_envelope(Envelope::new("1", Limits::none(), Request::Ping));
+        round_trip_envelope(Envelope::new(
+            "abc",
+            Limits { deadline_ms: Some(250), step_limit: Some(10_000), tuple_limit: None },
+            Request::Decide {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,y).".into(),
+                query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+            },
+        ));
+        round_trip_envelope(Envelope::new(
+            "c",
+            Limits::none(),
+            Request::Containment {
+                schema: "E/2,P/1".into(),
+                q1: "Q(x) :- P(x).".into(),
+                q2: "Q(x) :- P(x), E(x,x).".into(),
+                max_domain: 2,
+                space_limit: 1 << 16,
+            },
+        ));
+        round_trip_envelope(Envelope::new(
+            "f",
+            Limits::none(),
+            Request::Finite {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,z), E(z,y).".into(),
+                query: "Q(x,y) :- E(x,y).".into(),
+                max_domain: 2,
+                space_limit: 4096,
+            },
+        ));
+        round_trip_envelope(Envelope::new("s", Limits::none(), Request::Stats));
+        round_trip_envelope(Envelope::new("x", Limits::none(), Request::Shutdown));
+    }
+
+    fn round_trip_response(r: Response) {
+        let line = r.to_json().to_string();
+        assert!(!line.contains('\n'));
+        let back = Response::from_line(&line).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let work = WireStats { steps: 12, tuples: 3, elapsed_ms: 40 };
+        round_trip_response(Response::new("1", Outcome::Pong, WireStats::default()));
+        round_trip_response(Response::new(
+            "2",
+            Outcome::Decided { determined: true, rewriting: Some("R(x,y) :- V(x,y).".into()) },
+            work,
+        ));
+        round_trip_response(Response::new(
+            "3",
+            Outcome::Exhausted { reason: "deadline exceeded".into(), partial: "scanned 10".into() },
+            work,
+        ));
+        round_trip_response(Response::new(
+            "4",
+            Outcome::Overloaded { queue_depth: 64, queue_capacity: 64 },
+            WireStats::default(),
+        ));
+        round_trip_response(Response::new(
+            "5",
+            Outcome::FiniteOutcome {
+                verdict: "not-determined".into(),
+                rewriting: None,
+                searched_up_to: None,
+                counterexample: Some(WireCounterexample {
+                    d1: "E(a,b).".into(),
+                    d2: "E(a,a).".into(),
+                    image: "{}".into(),
+                    q1: "{}".into(),
+                    q2: "{(a)}".into(),
+                }),
+            },
+            work,
+        ));
+        round_trip_response(Response::error("6", ErrorKind::Parse, "bad query"));
+        round_trip_response(Response::new(
+            "7",
+            Outcome::StatsSnapshot(WireMetrics {
+                accepted: 10,
+                completed_ok: 8,
+                exhausted: 1,
+                rejected: 1,
+                errors: 0,
+                queue_depth: 0,
+                max_queue_depth: 4,
+                connections_open: 2,
+                connections_total: 5,
+                workers: 4,
+            }),
+            WireStats::default(),
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_a_version_error() {
+        let (kind, _, _) =
+            Envelope::from_line(r#"{"v":99,"id":"x","request":{"op":"ping"}}"#).unwrap_err();
+        assert_eq!(kind, ErrorKind::Version);
+    }
+
+    #[test]
+    fn unknown_op_is_unsupported_and_keeps_the_id() {
+        let (kind, _, id) =
+            Envelope::from_line(r#"{"v":1,"id":"req-7","request":{"op":"frobnicate"}}"#)
+                .unwrap_err();
+        assert_eq!(kind, ErrorKind::Unsupported);
+        assert_eq!(id, "req-7");
+    }
+
+    #[test]
+    fn malformed_json_is_a_protocol_error() {
+        let (kind, msg, id) = Envelope::from_line("{not json").unwrap_err();
+        assert_eq!(kind, ErrorKind::Protocol);
+        assert!(!msg.is_empty());
+        assert!(id.is_empty());
+    }
+
+    #[test]
+    fn limits_build_matching_budgets() {
+        let l = Limits { deadline_ms: Some(5), step_limit: Some(9), tuple_limit: Some(2) };
+        let b = l.to_budget();
+        assert_eq!(b.remaining_steps(), Some(9));
+        assert_eq!(b.remaining_tuples(), Some(2));
+        assert!(b.remaining_time().is_some());
+        assert!(!Limits::none().to_budget().is_limited());
+    }
+}

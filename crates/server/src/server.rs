@@ -1,0 +1,374 @@
+//! The TCP service: accept loop, connection threads, budget clamping,
+//! and graceful shutdown.
+//!
+//! Threading model (all `std`, no async runtime):
+//!
+//! * one **acceptor** thread polls a non-blocking listener;
+//! * one **connection** thread per client does I/O only — it reads a
+//!   line, submits a [`Job`] to the bounded pool, blocks on the reply,
+//!   and writes it back (requests on one connection are answered in
+//!   order; concurrency comes from concurrent connections);
+//! * `workers` **worker** threads execute requests under clamped
+//!   budgets (see [`Pool`]).
+//!
+//! Per-request budgets are `min(client-requested limits, server caps)`
+//! via [`Budget::min_of`], and every budget observes the server's
+//! shutdown [`CancelToken`]: [`ServerHandle::shutdown`] (or a wire
+//! [`Request::Shutdown`](crate::proto::Request::Shutdown)) trips the
+//! token, stops admissions, drains in-flight and queued work — which
+//! degrades to structured `exhausted (canceled)` replies carrying
+//! partial progress — then joins every thread.
+
+use crate::engine::EngineCtx;
+use crate::metrics::Metrics;
+use crate::pool::{Job, Pool, QueueHandle, SubmitError};
+use crate::proto::{Envelope, ErrorKind, Limits, Outcome, Response, WireMetrics, WireStats};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vqd_budget::{Budget, CancelToken};
+
+/// Server-side resource caps applied to *every* request, whatever the
+/// client asked for.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerCaps {
+    /// Hard wall-clock cap per request.
+    pub max_deadline: Duration,
+    /// Hard step cap per request (`None` = deadline-only).
+    pub max_steps: Option<u64>,
+    /// Hard tuple cap per request (`None` = deadline-only).
+    pub max_tuples: Option<u64>,
+}
+
+impl Default for ServerCaps {
+    fn default() -> ServerCaps {
+        ServerCaps {
+            max_deadline: Duration::from_secs(10),
+            max_steps: None,
+            max_tuples: None,
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it are rejected with
+    /// `overloaded`.
+    pub queue_depth: usize,
+    /// Per-request resource caps.
+    pub caps: ServerCaps,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            caps: ServerCaps::default(),
+        }
+    }
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    /// Master budget: its cancel token *is* the shutdown signal; its
+    /// counters are never advanced (per-request budgets are fresh).
+    master: Budget,
+    caps: ServerCaps,
+    metrics: Arc<Metrics>,
+}
+
+impl Shared {
+    /// `min(client limits, server caps)` with the shutdown token wired
+    /// in as cancellation authority.
+    fn clamp(&self, limits: &Limits) -> Budget {
+        let mut cap = self.master.clone().with_deadline(self.caps.max_deadline);
+        if let Some(s) = self.caps.max_steps {
+            cap = cap.with_step_limit(s);
+        }
+        if let Some(t) = self.caps.max_tuples {
+            cap = cap.with_tuple_limit(t);
+        }
+        Budget::min_of(&cap, &limits.to_budget())
+    }
+
+    fn shutdown_token(&self) -> CancelToken {
+        self.master.cancel_token()
+    }
+}
+
+/// A running server. Dropping the handle trips the shutdown token but
+/// does not block; call [`ServerHandle::shutdown`] for an orderly drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pool: Option<Pool>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time metrics.
+    pub fn metrics(&self) -> WireMetrics {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The shutdown token (share it with supervisors/signal handlers).
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shared.shutdown_token()
+    }
+
+    /// Whether a shutdown has been requested (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown_token().is_canceled()
+    }
+
+    /// Blocks until a shutdown is requested (e.g. a wire `shutdown`
+    /// request), then drains and returns the final metrics.
+    pub fn wait(self) -> WireMetrics {
+        while !self.is_shutting_down() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.shutdown()
+    }
+
+    /// Graceful shutdown: trip the token, stop accepting, drain
+    /// in-flight and queued requests (they observe the token and reply
+    /// `exhausted (canceled)` with partial progress), join everything,
+    /// and report the final metrics.
+    pub fn shutdown(mut self) -> WireMetrics {
+        self.shared.shutdown_token().cancel();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Connection threads exit at their next idle poll; in-flight
+        // requests finish first because workers are still running.
+        let conns = std::mem::take(&mut *lock_or_recover(&self.conns));
+        for c in conns {
+            let _ = c.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+        self.shared.metrics.snapshot()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown_token().cancel();
+    }
+}
+
+/// Mutex recovery: connection-handle lists tolerate poisoning (the data
+/// is only JoinHandles).
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Binds, spawns the acceptor + pool, and returns immediately.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let metrics = Arc::new(Metrics::new());
+    let shared = Arc::new(Shared {
+        master: Budget::unlimited(),
+        caps: config.caps,
+        metrics: Arc::clone(&metrics),
+    });
+    let ctx = EngineCtx { metrics: Arc::clone(&metrics), shutdown: shared.shutdown_token() };
+    let pool = Pool::new(config.workers, config.queue_depth, ctx);
+    let queue = pool.queue_handle();
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("vqd-acceptor".to_owned())
+            .spawn(move || accept_loop(&listener, &shared, &queue, &conns))?
+    };
+    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), conns, pool: Some(pool) })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    queue: &QueueHandle,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let token = shared.shutdown_token();
+    while !token.is_canceled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections_open.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let queue = queue.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("vqd-conn".to_owned())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &conn_shared, &queue);
+                        conn_shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+                    });
+                match spawned {
+                    Ok(handle) => {
+                        let mut guard = lock_or_recover(conns);
+                        // Reap finished connections so the list stays
+                        // proportional to *open* connections.
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(handle);
+                    }
+                    Err(_) => {
+                        shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads newline-delimited envelopes and answers each in order.
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    queue: &QueueHandle,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // A finite read timeout turns the blocking read into a poll so the
+    // thread can observe shutdown while idle.
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let token = shared.shutdown_token();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if token.is_canceled() {
+            return Ok(());
+        }
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {
+                if buf.last() != Some(&b'\n') {
+                    // Partial line at EOF boundary: process it; the next
+                    // read returns Ok(0).
+                }
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                let response = handle_line(line.trim(), shared, queue);
+                buf.clear();
+                if let Some(response) = response {
+                    writeln!(writer, "{}", response.to_json())?;
+                    writer.flush()?;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                // Idle poll; partial bytes (if any) stay in `buf`.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Decodes one line and produces one response (`None` for blank lines).
+fn handle_line(line: &str, shared: &Arc<Shared>, queue: &QueueHandle) -> Option<Response> {
+    if line.is_empty() {
+        return None;
+    }
+    let envelope = match Envelope::from_line(line) {
+        Err((kind, message, id)) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return Some(Response::error(id, kind, message));
+        }
+        Ok(env) => env,
+    };
+    let id = envelope.id.clone();
+    let budget = shared.clamp(&envelope.limits);
+    let (reply_tx, reply_rx) = channel();
+    let job = Job { envelope, budget, reply: reply_tx };
+    match queue.submit(job) {
+        Ok(()) => Some(reply_rx.recv().unwrap_or_else(|_| {
+            Response::error(id, ErrorKind::Internal, "worker dropped the reply")
+        })),
+        Err((job, SubmitError::Full)) => {
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            Some(Response::new(
+                job.envelope.id,
+                Outcome::Overloaded {
+                    queue_depth: shared.metrics.queue_depth.load(Ordering::Relaxed),
+                    queue_capacity: queue.capacity() as u64,
+                },
+                WireStats::default(),
+            ))
+        }
+        Err((job, SubmitError::Closed)) => {
+            Some(Response::new(job.envelope.id, Outcome::ShuttingDown, WireStats::default()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_takes_the_stricter_side() {
+        let shared = Shared {
+            master: Budget::unlimited(),
+            caps: ServerCaps {
+                max_deadline: Duration::from_secs(2),
+                max_steps: Some(1000),
+                max_tuples: None,
+            },
+            metrics: Arc::new(Metrics::new()),
+        };
+        // Client asks for more than the cap: cap wins.
+        let b = shared.clamp(&Limits {
+            deadline_ms: Some(60_000),
+            step_limit: Some(1_000_000),
+            tuple_limit: None,
+        });
+        assert!(b.remaining_time().is_some_and(|t| t <= Duration::from_secs(2)));
+        assert_eq!(b.remaining_steps(), Some(1000));
+        // Client asks for less: client wins.
+        let b = shared.clamp(&Limits {
+            deadline_ms: Some(5),
+            step_limit: Some(10),
+            tuple_limit: Some(3),
+        });
+        assert!(b.remaining_time().is_some_and(|t| t <= Duration::from_millis(5)));
+        assert_eq!(b.remaining_steps(), Some(10));
+        assert_eq!(b.remaining_tuples(), Some(3));
+        // Shutdown authority: tripping the master token cancels clamped
+        // budgets.
+        shared.shutdown_token().cancel();
+        let b = shared.clamp(&Limits::none());
+        assert!(b.checkpoint().is_err());
+    }
+}

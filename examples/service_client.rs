@@ -1,0 +1,74 @@
+//! Serving-layer quickstart: run a determinacy service in-process and
+//! query it over TCP through the blocking client.
+//!
+//! ```text
+//! cargo run --example service_client
+//! ```
+//!
+//! The same conversation works against a standalone server started with
+//! `vqd-cli serve` — point [`Client::connect`] at its address.
+
+use vqd::server::{Client, Limits, Outcome, Request, ServerConfig};
+
+fn main() {
+    // An ephemeral-port server with the default caps: 4 workers, a
+    // bounded queue of 64, and a 10-second per-request deadline cap.
+    let handle = vqd::server::spawn(ServerConfig::default()).expect("spawn server");
+    println!("serving on {}", handle.addr());
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Theorem 3.7 over the wire: do the path-2 views determine the
+    // path-4 query? (Yes — and the canonical rewriting comes back.)
+    let reply = client
+        .call(
+            Limits { deadline_ms: Some(2_000), ..Limits::none() },
+            Request::Decide {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,z), E(z,y).".into(),
+                query: "Q(x,y) :- E(x,a), E(a,b), E(b,c), E(c,y).".into(),
+            },
+        )
+        .expect("decide");
+    println!("\n[decide] {}", reply.outcome);
+
+    // Certain answers under sound views on a concrete extent.
+    let reply = client
+        .call(
+            Limits::none(),
+            Request::Certain {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,y).".into(),
+                query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+                extent: "V(A,B). V(B,C). V(C,D).".into(),
+            },
+        )
+        .expect("certain");
+    println!("\n[certain] {}", reply.outcome);
+
+    // Budgets degrade gracefully: a 5ms deadline on an exhaustive scan
+    // comes back `exhausted` with partial-progress stats, not a hang.
+    let reply = client
+        .call(
+            Limits { deadline_ms: Some(5), ..Limits::none() },
+            Request::Semantic {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,y).".into(),
+                query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+                domain: 4,
+                space_limit: 1 << 20,
+            },
+        )
+        .expect("scan");
+    match &reply.outcome {
+        Outcome::Exhausted { reason, partial } => {
+            println!("\n[scan] exhausted ({reason}) after {} steps: {partial}", reply.work.steps);
+        }
+        other => println!("\n[scan] {other}"),
+    }
+
+    // Observability, then a graceful drain.
+    println!("\n[stats] {}", Outcome::StatsSnapshot(client.stats().expect("stats")));
+    let m = handle.shutdown();
+    println!("\ndrained: {} requests served, {} exhausted", m.accepted, m.exhausted);
+}

@@ -1,70 +1,61 @@
 //! `vqd-cli` — determinacy and rewriting from the command line.
 //!
 //! ```text
-//! vqd-cli --schema "E/2,P/1" \
+//! vqd-cli analyze --schema "E/2,P/1" \
 //!         --views  "V1(x,y) :- E(x,y). V2(x) :- P(x)." \
 //!         --query  "Q(x,z) :- E(x,y), E(y,z)." \
 //!         [--max-domain 3] [--explain]
+//!
+//! vqd-cli serve   [--addr 127.0.0.1:7471] [--workers 4] [--queue-depth 64]
+//!                 [--max-deadline-ms 10000] [--max-steps N] [--max-tuples N]
+//!
+//! vqd-cli request [--addr 127.0.0.1:7471] --op decide \
+//!                 --schema "E/2" --views "..." --query "..." \
+//!                 [--deadline-ms N] [--step-limit N] [--tuple-limit N]
 //! ```
 //!
-//! Views and query may also be read from files (`@path`). Prints the
-//! [`analyze`](vqd::core::analyze::analyze) verdict: the determinacy
-//! status, the exact rewriting when one exists, the maximally-contained
-//! fallback otherwise, and (with `--explain`) the chase trace.
+//! Views and query may also be read from files (`@path`). Running with
+//! flags and no subcommand behaves like `analyze` (the original CLI).
+//! `serve` runs the [`vqd_server`] service until a wire `shutdown`
+//! request arrives; `request` issues one request against a running
+//! server and exits 0 on `ok`, 3 on `error`, 4 on `exhausted`, and 5 on
+//! `overloaded`.
 
 use vqd::chase::CqViews;
 use vqd::core::analyze::{analyze, AnalyzeOptions, Determinacy};
 use vqd::core::determinacy::unrestricted::decide_unrestricted;
 use vqd::instance::{DomainNames, Schema};
 use vqd::query::{parse_program, parse_query, CqLang, QueryExpr, ViewSet};
+use vqd::server::{self, Client, Limits, Outcome, Request, ServerCaps, ServerConfig};
 
-struct Args {
-    schema: String,
-    views: String,
-    query: String,
-    max_domain: usize,
-    explain: bool,
-}
+const USAGE: &str = "usage: vqd-cli <analyze|serve|request> [flags] \
+                     (see `vqd-cli <subcommand> --help`)";
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: vqd-cli --schema \"R/2,P/1\" --views \"<rules or @file>\" \
-         --query \"<rule or @file>\" [--max-domain N] [--explain]"
-    );
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("{USAGE}");
     std::process::exit(2)
 }
 
-fn parse_args() -> Args {
-    let mut schema = None;
-    let mut views = None;
-    let mut query = None;
-    let mut max_domain = 3usize;
-    let mut explain = false;
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--schema" => schema = it.next(),
-            "--views" => views = it.next(),
-            "--query" => query = it.next(),
-            "--max-domain" => {
-                max_domain = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--explain" => explain = true,
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown flag `{other}`");
-                usage()
-            }
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        None => die("missing subcommand"),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
         }
+        Some("analyze") => cmd_analyze(&argv[1..]),
+        Some("serve") => cmd_serve(&argv[1..]),
+        Some("request") => cmd_request(&argv[1..]),
+        // Original flag-only invocation: treat as `analyze`.
+        Some(flag) if flag.starts_with("--") => cmd_analyze(&argv),
+        Some(other) => die(&format!("unknown subcommand `{other}`")),
     }
-    let (Some(schema), Some(views), Some(query)) = (schema, views, query) else {
-        usage()
-    };
-    Args { schema, views, query, max_domain, explain }
 }
+
+// ---------------------------------------------------------------------
+// Shared flag plumbing
+// ---------------------------------------------------------------------
 
 /// `@path` reads file contents; anything else is literal.
 fn load(spec: &str) -> String {
@@ -84,8 +75,72 @@ fn parse_schema(spec: &str) -> Schema {
     })
 }
 
-fn main() {
-    let args = parse_args();
+fn value_of(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| die(&format!("flag `{flag}` needs a value")))
+        .clone()
+}
+
+fn num_of<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    value_of(it, flag)
+        .parse()
+        .unwrap_or_else(|_| die(&format!("flag `{flag}` needs a numeric value")))
+}
+
+// ---------------------------------------------------------------------
+// `analyze` (the original CLI)
+// ---------------------------------------------------------------------
+
+struct AnalyzeArgs {
+    schema: String,
+    views: String,
+    query: String,
+    max_domain: usize,
+    explain: bool,
+}
+
+fn analyze_usage() -> ! {
+    eprintln!(
+        "usage: vqd-cli analyze --schema \"R/2,P/1\" --views \"<rules or @file>\" \
+         --query \"<rule or @file>\" [--max-domain N] [--explain]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_analyze_args(argv: &[String]) -> AnalyzeArgs {
+    let mut schema = None;
+    let mut views = None;
+    let mut query = None;
+    let mut max_domain = 3usize;
+    let mut explain = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--schema" => schema = it.next().cloned(),
+            "--views" => views = it.next().cloned(),
+            "--query" => query = it.next().cloned(),
+            "--max-domain" => {
+                max_domain = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| analyze_usage())
+            }
+            "--explain" => explain = true,
+            "--help" | "-h" => analyze_usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                analyze_usage()
+            }
+        }
+    }
+    let (Some(schema), Some(views), Some(query)) = (schema, views, query) else {
+        analyze_usage()
+    };
+    AnalyzeArgs { schema, views, query, max_domain, explain }
+}
+
+fn cmd_analyze(argv: &[String]) {
+    let args = parse_analyze_args(argv);
     let schema = parse_schema(&args.schema);
     let mut names = DomainNames::new();
     let prog = parse_program(&schema, &mut names, &load(&args.views)).unwrap_or_else(|e| {
@@ -153,4 +208,146 @@ fn main() {
     if a.genericity_violation {
         println!("\n(Proposition 4.3 genericity violation found en route)");
     }
+}
+
+// ---------------------------------------------------------------------
+// `serve`
+// ---------------------------------------------------------------------
+
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: vqd-cli serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+         [--max-deadline-ms N] [--max-steps N] [--max-tuples N]"
+    );
+    std::process::exit(2)
+}
+
+fn cmd_serve(argv: &[String]) {
+    let mut config = ServerConfig { addr: "127.0.0.1:7471".to_owned(), ..ServerConfig::default() };
+    let mut caps = ServerCaps::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => config.addr = value_of(&mut it, flag),
+            "--workers" => config.workers = num_of(&mut it, flag),
+            "--queue-depth" => config.queue_depth = num_of(&mut it, flag),
+            "--max-deadline-ms" => {
+                caps.max_deadline = std::time::Duration::from_millis(num_of(&mut it, flag));
+            }
+            "--max-steps" => caps.max_steps = Some(num_of(&mut it, flag)),
+            "--max-tuples" => caps.max_tuples = Some(num_of(&mut it, flag)),
+            "--help" | "-h" => serve_usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                serve_usage()
+            }
+        }
+    }
+    config.caps = caps;
+    let workers = config.workers;
+    let queue = config.queue_depth;
+    let handle = server::spawn(config).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        std::process::exit(1)
+    });
+    println!("vqd-server listening on {} ({} workers, queue {})", handle.addr(), workers, queue);
+    println!("stop it with: vqd-cli request --addr {} --op shutdown", handle.addr());
+    let m = handle.wait();
+    println!(
+        "drained: {} accepted, {} ok, {} exhausted, {} rejected, {} errors, {} connections",
+        m.accepted, m.completed_ok, m.exhausted, m.rejected, m.errors, m.connections_total
+    );
+}
+
+// ---------------------------------------------------------------------
+// `request`
+// ---------------------------------------------------------------------
+
+fn request_usage() -> ! {
+    eprintln!(
+        "usage: vqd-cli request [--addr HOST:PORT] --op \
+         <ping|decide|rewrite|certain|containment|finite|semantic|stats|shutdown> \
+         [--schema S] [--views V] [--query Q] [--extent E] [--q1 Q] [--q2 Q] \
+         [--max-domain N] [--domain N] [--space-limit N] \
+         [--deadline-ms N] [--step-limit N] [--tuple-limit N]"
+    );
+    std::process::exit(2)
+}
+
+fn cmd_request(argv: &[String]) {
+    let mut addr = "127.0.0.1:7471".to_owned();
+    let mut op = None;
+    let mut schema = String::new();
+    let mut views = String::new();
+    let mut query = String::new();
+    let mut extent = String::new();
+    let mut q1 = String::new();
+    let mut q2 = String::new();
+    let mut max_domain = 3u64;
+    let mut domain = 2u64;
+    let mut space_limit = 1u64 << 22;
+    let mut limits = Limits::none();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value_of(&mut it, flag),
+            "--op" => op = Some(value_of(&mut it, flag)),
+            "--schema" => schema = load(&value_of(&mut it, flag)),
+            "--views" => views = load(&value_of(&mut it, flag)),
+            "--query" => query = load(&value_of(&mut it, flag)),
+            "--extent" => extent = load(&value_of(&mut it, flag)),
+            "--q1" => q1 = load(&value_of(&mut it, flag)),
+            "--q2" => q2 = load(&value_of(&mut it, flag)),
+            "--max-domain" => max_domain = num_of(&mut it, flag),
+            "--domain" => domain = num_of(&mut it, flag),
+            "--space-limit" => space_limit = num_of(&mut it, flag),
+            "--deadline-ms" => limits.deadline_ms = Some(num_of(&mut it, flag)),
+            "--step-limit" => limits.step_limit = Some(num_of(&mut it, flag)),
+            "--tuple-limit" => limits.tuple_limit = Some(num_of(&mut it, flag)),
+            "--help" | "-h" => request_usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                request_usage()
+            }
+        }
+    }
+    let Some(op) = op else { request_usage() };
+    let request = match op.as_str() {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "decide" | "decide_unrestricted" => {
+            Request::Decide { schema, views, query }
+        }
+        "rewrite" => Request::Rewrite { schema, views, query },
+        "certain" | "certain_sound" => Request::Certain { schema, views, query, extent },
+        "containment" => Request::Containment { schema, q1, q2, max_domain, space_limit },
+        "finite" | "decide_finite" => {
+            Request::Finite { schema, views, query, max_domain, space_limit }
+        }
+        "semantic" | "check_exhaustive" => {
+            Request::Semantic { schema, views, query, domain, space_limit }
+        }
+        other => die(&format!("unknown op `{other}`")),
+    };
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1)
+    });
+    let response = client.call(limits, request).unwrap_or_else(|e| {
+        eprintln!("request failed: {e}");
+        std::process::exit(1)
+    });
+    println!("{}", response.outcome);
+    println!(
+        "[{} steps, {} tuples, {} ms server-side]",
+        response.work.steps, response.work.tuples, response.work.elapsed_ms
+    );
+    let code = match &response.outcome {
+        Outcome::Error { .. } => 3,
+        Outcome::Exhausted { .. } => 4,
+        Outcome::Overloaded { .. } => 5,
+        _ => 0,
+    };
+    std::process::exit(code);
 }

@@ -14,7 +14,9 @@
 //! * [`vqd_core`] — determinacy checking, rewriting, and every construction
 //!   of the paper;
 //! * [`vqd_budget`] — resource governance: budgets, deadlines, cooperative
-//!   cancellation, and fault injection for every long-running engine.
+//!   cancellation, and fault injection for every long-running engine;
+//! * [`vqd_server`] — the budget-governed TCP service exposing the
+//!   paper's effective procedures, plus its wire protocol and client.
 
 pub use vqd_budget as budget;
 pub use vqd_chase as chase;
@@ -24,4 +26,5 @@ pub use vqd_eval as eval;
 pub use vqd_instance as instance;
 pub use vqd_monoid as monoid;
 pub use vqd_query as query;
+pub use vqd_server as server;
 pub use vqd_turing as turing;
