@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vqd_bench::genq::path_query;
-use vqd_eval::{cq_contained, for_each_hom, Assignment, InstanceIndex, Ordering};
-use vqd_instance::{named, Instance, Schema};
+use vqd_eval::{cq_contained, for_each_hom, Assignment, Ordering};
+use vqd_instance::{named, IndexedInstance, Instance, Schema};
 
 fn random_graph(n: u32, edges: usize, seed: u64) -> Instance {
     let s = Schema::new([("E", 2), ("P", 1)]);
@@ -32,7 +32,7 @@ fn bench_hom(c: &mut Criterion) {
                 &k,
                 |b, _| {
                     b.iter(|| {
-                        let index = InstanceIndex::new(&d);
+                        let index = IndexedInstance::from_instance(&d);
                         let mut count = 0u64;
                         for_each_hom(&q.atoms, &index, &Assignment::new(), ord, |_| {
                             count += 1;

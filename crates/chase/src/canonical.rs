@@ -11,10 +11,10 @@
 //!    the converse, so this membership *decides* unrestricted determinacy
 //!    (Theorem 3.7).
 
-use crate::inverse::{v_inverse_budgeted, CqViews};
+use crate::inverse::{v_inverse_indexed, CqViews};
 use std::collections::BTreeMap;
 use vqd_budget::{Budget, VqdError};
-use vqd_eval::{eval_cq, freeze};
+use vqd_eval::{eval_cq_with_index, freeze};
 use vqd_instance::{Instance, NullGen, Value};
 use vqd_query::{Cq, CqLang, Term, VarId};
 
@@ -140,19 +140,21 @@ pub fn proposition_3_5_test_budgeted(
 ) -> Result<(bool, Instance), VqdError> {
     let mut nulls = can.nulls.clone();
     let empty = Instance::empty(views.as_view_set().input_schema());
-    let d_prime = v_inverse_budgeted(views, &empty, &can.s, &mut nulls, budget)?;
+    // The chase hands back its maintained index, so the membership test
+    // below evaluates Q with zero index rebuilds.
+    let d_prime = v_inverse_indexed(views, &empty, &can.s, &mut nulls, budget)?;
     budget.checkpoint_with(&format_args!(
         "chased canonical instance to {} tuples, membership test pending",
-        d_prime.total_tuples()
+        d_prime.instance().total_tuples()
     ))?;
-    let holds = eval_cq(q, &d_prime).contains(&can.frozen_head);
-    Ok((holds, d_prime))
+    let holds = eval_cq_with_index(q, &d_prime).contains(&can.frozen_head);
+    Ok((holds, d_prime.into_instance()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vqd_eval::{apply_views, cq_equivalent};
+    use vqd_eval::{apply_views, cq_equivalent, eval_cq};
     use vqd_instance::{DomainNames, Schema};
     use vqd_query::{parse_program, parse_query, ViewSet};
 

@@ -14,7 +14,7 @@
 
 use vqd_budget::{Budget, VqdError};
 use vqd_eval::{apply_views, freeze};
-use vqd_instance::{Instance, NullGen, Value};
+use vqd_instance::{IndexedInstance, Instance, NullGen, Value};
 use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
 
 /// A view set validated to consist of plain CQs — the hypothesis of every
@@ -123,6 +123,21 @@ pub fn v_inverse_budgeted(
     nulls: &mut NullGen,
     budget: &Budget,
 ) -> Result<Instance, VqdError> {
+    v_inverse_indexed(views, base, s_prime, nulls, budget).map(IndexedInstance::into_instance)
+}
+
+/// [`v_inverse_budgeted`] returning the chased instance *with its index*:
+/// every trigger result is applied as an indexed delta, so callers that
+/// evaluate queries over the chase result (the Proposition 3.5 membership
+/// test, certain-answer filtering) get a ready index with zero rebuilds
+/// after the chase.
+pub fn v_inverse_indexed(
+    views: &CqViews,
+    base: &Instance,
+    s_prime: &Instance,
+    nulls: &mut NullGen,
+    budget: &Budget,
+) -> Result<IndexedInstance, VqdError> {
     if s_prime.schema() != views.as_view_set().output_schema() {
         return Err(VqdError::SchemaMismatch {
             context: "v_inverse (S' must be over the view output schema)",
@@ -138,7 +153,7 @@ pub fn v_inverse_budgeted(
         });
     }
     let s = views.apply(base);
-    let mut out = base.clone();
+    let mut out = IndexedInstance::from_instance(base);
     let mut chased = 0usize;
     for (i, _) in views.as_view_set().views().iter().enumerate() {
         let rel = views.as_view_set().output_rel(i);
@@ -149,16 +164,16 @@ pub fn v_inverse_budgeted(
             }
             budget.checkpoint_with(&format_args!(
                 "chase reached {} tuples after chasing {chased} view tuples",
-                out.total_tuples()
+                out.instance().total_tuples()
             ))?;
-            let before = out.total_tuples();
+            let before = out.instance().total_tuples();
             chase_tuple(view_cq, tuple, &mut out, nulls);
             chased += 1;
             budget.charge_tuples(
-                (out.total_tuples() - before) as u64,
+                (out.instance().total_tuples() - before) as u64,
                 &format_args!(
                     "chase reached {} tuples after chasing {chased} view tuples",
-                    out.total_tuples()
+                    out.instance().total_tuples()
                 ),
             )?;
         }
@@ -166,8 +181,8 @@ pub fn v_inverse_budgeted(
     Ok(out)
 }
 
-/// Adds `α_ȳ([Q_V])` to `out` for one view tuple `ȳ`.
-fn chase_tuple(view_cq: &Cq, tuple: &[Value], out: &mut Instance, nulls: &mut NullGen) {
+/// Adds `α_ȳ([Q_V])` to `out` for one view tuple `ȳ`, as an indexed delta.
+fn chase_tuple(view_cq: &Cq, tuple: &[Value], out: &mut IndexedInstance, nulls: &mut NullGen) {
     // Freeze the view body with fresh nulls, then rename the frozen head
     // values to the tuple.
     let (body, head, _) = freeze(view_cq, nulls)
@@ -198,7 +213,7 @@ fn chase_tuple(view_cq: &Cq, tuple: &[Value], out: &mut Instance, nulls: &mut Nu
         }
     }
     let renamed = body.map_values(&rename);
-    out.union_with(&renamed);
+    out.apply_delta(&renamed);
 }
 
 #[cfg(test)]
@@ -311,6 +326,33 @@ mod tests {
         let inv = v_inverse(&v, &Instance::empty(&schema()), &s, &mut nulls);
         let s2 = v.apply(&inv);
         assert!(s.is_subinstance_of(&s2));
+    }
+
+    #[test]
+    fn chase_applies_deltas_without_per_trigger_rebuilds() {
+        let v = views("V(x,y) :- E(x,z), E(z,y).");
+        // Many triggers, each inventing a middle null: the maintained
+        // index must absorb all of them as deltas.
+        let mut s = Instance::empty(v.as_view_set().output_schema());
+        for i in 0..40u32 {
+            s.insert_named("V", vec![named(i), named(i + 100)]);
+        }
+        let mut nulls = NullGen::new();
+        let before = vqd_instance::index_stats();
+        let inv = v_inverse_indexed(
+            &v,
+            &Instance::empty(&schema()),
+            &s,
+            &mut nulls,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        let after = vqd_instance::index_stats();
+        assert_eq!(inv.instance().rel_named("E").len(), 80);
+        // One build for the view image of the base plus one for the chase
+        // output — a constant, independent of the trigger count.
+        assert_eq!(after.builds - before.builds, 2);
+        assert!(after.delta_tuples - before.delta_tuples >= 80);
     }
 
     #[test]

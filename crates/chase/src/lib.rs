@@ -17,7 +17,7 @@ pub mod inverse;
 pub mod tower;
 
 pub use canonical::{canonical, proposition_3_5_test, proposition_3_5_test_budgeted, try_canonical, Canonical};
-pub use inverse::{v_inverse, v_inverse_budgeted, CqViews};
+pub use inverse::{v_inverse, v_inverse_budgeted, v_inverse_indexed, CqViews};
 pub use tower::{InvariantReport, Tower};
 
 use std::collections::BTreeMap;

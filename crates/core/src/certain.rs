@@ -17,8 +17,8 @@
 
 use crate::answering::for_each_preimage;
 use vqd_budget::VqdError;
-use vqd_chase::{v_inverse_budgeted, CqViews};
-use vqd_eval::{eval_cq, eval_query};
+use vqd_chase::{v_inverse_indexed, CqViews};
+use vqd_eval::{eval_cq_with_index, eval_query};
 use vqd_instance::{Instance, NullGen, Relation};
 use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
 
@@ -52,9 +52,11 @@ pub fn certain_sound_budgeted(
     }
     let mut nulls = NullGen::new();
     let empty = Instance::empty(views.as_view_set().input_schema());
-    let chased = v_inverse_budgeted(views, &empty, extent, &mut nulls, budget)?;
+    // The chase returns its maintained index; Q evaluates over it with no
+    // further index builds.
+    let chased = v_inverse_indexed(views, &empty, extent, &mut nulls, budget)?;
     let mut out = Relation::new(q.arity());
-    for t in eval_cq(q, &chased).iter() {
+    for t in eval_cq_with_index(q, &chased).iter() {
         budget.checkpoint_with(&format_args!(
             "filtering certain answers: {} kept so far",
             out.len()

@@ -21,7 +21,7 @@ use crate::determinacy::semantic::{Counterexample, SemanticVerdict};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use vqd_budget::{Budget, ExhaustReason, Exhausted, VqdError};
-use vqd_eval::{apply_views, eval_query};
+use vqd_eval::{apply_views_with_index, eval_query_with_index};
 use vqd_instance::gen::{instance_at, space_size};
 use vqd_instance::{Instance, Relation};
 use vqd_query::{QueryExpr, ViewSet};
@@ -111,8 +111,11 @@ pub fn check_exhaustive_parallel_budgeted(
                         break;
                     }
                     let d = instance_at(schema, n, i);
-                    let image = apply_views(views, &d);
-                    let out = eval_query(q, &d);
+                    // One index per candidate instance, shared by V and Q.
+                    let idx = vqd_instance::IndexedInstance::new(d);
+                    let image = apply_views_with_index(views, &idx);
+                    let out = eval_query_with_index(q, &idx);
+                    let d = idx.into_instance();
                     match local.get(&image) {
                         None => {
                             local.insert(image, (d, out));

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 use vqd_budget::{Budget, VqdError};
-use vqd_eval::{apply_views, eval_query};
+use vqd_eval::{apply_views, apply_views_with_index, eval_query, eval_query_with_index};
 use vqd_instance::gen::{random_instance, space_size, InstanceEnumerator};
 use vqd_instance::{Instance, Relation};
 use vqd_query::{QueryExpr, ViewSet};
@@ -124,8 +124,11 @@ pub fn check_exhaustive_budgeted(
         )) {
             return Ok(SemanticVerdict::Exhausted(Box::new(e)));
         }
-        let image = apply_views(views, &d);
-        let out = eval_query(q, &d);
+        // One index per candidate instance, shared by V and Q.
+        let idx = vqd_instance::IndexedInstance::new(d);
+        let image = apply_views_with_index(views, &idx);
+        let out = eval_query_with_index(q, &idx);
+        let d = idx.into_instance();
         match by_image.get(&image) {
             None => {
                 if let Err(e) = budget.charge_tuples(
@@ -188,8 +191,10 @@ pub fn check_random_budgeted(
             ))
             .map_err(Box::new)?;
         let d = random_instance(schema, n, density, rng);
-        let image = apply_views(views, &d);
-        let out = eval_query(q, &d);
+        let idx = vqd_instance::IndexedInstance::new(d);
+        let image = apply_views_with_index(views, &idx);
+        let out = eval_query_with_index(q, &idx);
+        let d = idx.into_instance();
         match by_image.get(&image) {
             None => {
                 by_image.insert(image, (d, out));

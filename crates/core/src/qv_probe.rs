@@ -15,7 +15,7 @@
 //! the probe must find the violation. Experiment E16 runs both sides.
 
 use std::collections::HashMap;
-use vqd_eval::{apply_views, eval_query};
+use vqd_eval::{apply_views_with_index, eval_query_with_index};
 use vqd_instance::gen::{space_size, InstanceEnumerator};
 use vqd_instance::{Instance, Relation};
 use vqd_query::{QueryExpr, ViewSet};
@@ -62,8 +62,9 @@ pub fn qv_monotonicity_probe(
     let mut by_image: HashMap<Instance, Relation> = HashMap::new();
     let mut clashes = 0usize;
     for d in InstanceEnumerator::new(views.input_schema(), n) {
-        let image = apply_views(views, &d);
-        let out = eval_query(q, &d);
+        let idx = vqd_instance::IndexedInstance::new(d);
+        let image = apply_views_with_index(views, &idx);
+        let out = eval_query_with_index(q, &idx);
         match by_image.get(&image) {
             None => {
                 by_image.insert(image, out);

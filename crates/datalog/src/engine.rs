@@ -9,8 +9,8 @@
 use crate::rule::{Literal, Program, Rule};
 use crate::stratify::{stratify, NotStratifiable, Stratification};
 use vqd_budget::{Budget, Exhausted, VqdError};
-use vqd_eval::{for_each_hom, Assignment, InstanceIndex, Ordering};
-use vqd_instance::{Instance, Value};
+use vqd_eval::{for_each_hom, Assignment, Ordering};
+use vqd_instance::{IndexMaintenance, IndexedInstance, Instance, Value};
 use vqd_query::{Atom, Term};
 
 /// Matches one atom against a concrete tuple, producing the induced
@@ -42,12 +42,11 @@ fn resolve(t: Term, asg: &Assignment) -> Value {
     }
 }
 
-/// Fires `rule` over `db` with positive atom `skip`'s match pre-bound by
-/// `fixed`; passes every derived head fact to `emit`.
+/// Fires `rule` over the indexed database with positive atom `skip`'s
+/// match pre-bound by `fixed`; passes every derived head fact to `emit`.
 fn fire_rule(
     rule: &Rule,
-    db: &Instance,
-    index: &InstanceIndex<'_>,
+    index: &IndexedInstance,
     fixed: &Assignment,
     skip: Option<usize>,
     emit: &mut impl FnMut(Vec<Value>),
@@ -64,7 +63,7 @@ fn fire_rule(
                 Literal::Pos(_) => {}
                 Literal::Neg(a) => {
                     let t: Vec<Value> = a.args.iter().map(|&x| resolve(x, asg)).collect();
-                    if db.rel(a.rel).contains(&t) {
+                    if index.instance().rel(a.rel).contains(&t) {
                         return true;
                     }
                 }
@@ -83,19 +82,28 @@ fn fire_rule(
 /// Saturates one stratum naively: fire all rules until no new facts.
 /// Checkpoints once per rule per round; exhaustion leaves `db` at the
 /// last completed round (a sound under-approximation of the fixpoint).
-fn saturate_naive(rules: &[&Rule], db: &mut Instance, budget: &Budget) -> Result<(), Exhausted> {
+///
+/// Index maintenance follows `db`'s policy: incremental inserts keep the
+/// index current (the `refresh` is a no-op), while the `Rebuild` baseline
+/// pays one full rebuild per round — the historical cost.
+fn saturate_naive(
+    rules: &[&Rule],
+    db: &mut IndexedInstance,
+    budget: &Budget,
+) -> Result<(), Exhausted> {
     let mut round = 0usize;
     loop {
+        db.refresh();
         let mut new_facts: Vec<(vqd_instance::RelId, Vec<Value>)> = Vec::new();
         {
-            let index = InstanceIndex::new(db);
+            let index: &IndexedInstance = db;
             for rule in rules {
                 budget.checkpoint_with(&format_args!(
                     "naive fixpoint at round {round}, {} facts derived",
-                    db.total_tuples()
+                    index.instance().total_tuples()
                 ))?;
-                fire_rule(rule, db, &index, &Assignment::new(), None, &mut |fact| {
-                    if !db.rel(rule.head.rel).contains(&fact) {
+                fire_rule(rule, index, &Assignment::new(), None, &mut |fact| {
+                    if !index.instance().rel(rule.head.rel).contains(&fact) {
                         new_facts.push((rule.head.rel, fact));
                     }
                 });
@@ -109,7 +117,7 @@ fn saturate_naive(rules: &[&Rule], db: &mut Instance, budget: &Budget) -> Result
                     1,
                     &format_args!(
                         "naive fixpoint at round {round}, {} facts derived",
-                        db.total_tuples()
+                        db.instance().total_tuples()
                     ),
                 )?;
             }
@@ -126,24 +134,25 @@ fn saturate_naive(rules: &[&Rule], db: &mut Instance, budget: &Budget) -> Result
 /// (a sound under-approximation of the fixpoint).
 fn saturate_semi_naive(
     rules: &[&Rule],
-    db: &mut Instance,
+    db: &mut IndexedInstance,
     budget: &Budget,
 ) -> Result<(), Exhausted> {
     // Round 0: a full naive pass collecting the initial delta.
-    let mut delta = Instance::empty(db.schema());
+    let mut delta = Instance::empty(db.instance().schema());
+    db.refresh();
     {
-        let index = InstanceIndex::new(db);
+        let index: &IndexedInstance = db;
         for rule in rules {
             budget.checkpoint_with(&format_args!(
                 "semi-naive round 0, {} facts derived",
-                db.total_tuples()
+                index.instance().total_tuples()
             ))?;
             let mut emit = |fact: Vec<Value>| {
-                if !db.rel(rule.head.rel).contains(&fact) {
+                if !index.instance().rel(rule.head.rel).contains(&fact) {
                     delta.insert(rule.head.rel, fact);
                 }
             };
-            fire_rule(rule, db, &index, &Assignment::new(), None, &mut emit);
+            fire_rule(rule, index, &Assignment::new(), None, &mut emit);
         }
     }
     let mut round = 1usize;
@@ -152,12 +161,16 @@ fn saturate_semi_naive(
             delta.total_tuples() as u64,
             &format_args!(
                 "semi-naive round {round}, {} facts derived",
-                db.total_tuples()
+                db.instance().total_tuples()
             ),
         )?;
-        db.union_with(&delta);
-        let mut next_delta = Instance::empty(db.schema());
-        let index = InstanceIndex::new(db);
+        // Apply the delta through the maintained index — under the
+        // incremental policy this is the whole point of the refactor: no
+        // full rebuild per round, just O(|delta|) index maintenance.
+        db.apply_delta(&delta);
+        db.refresh();
+        let mut next_delta = Instance::empty(db.instance().schema());
+        let index: &IndexedInstance = db;
         for rule in rules {
             let positives: Vec<Atom> = rule.positive_atoms().cloned().collect();
             for (i, atom) in positives.iter().enumerate() {
@@ -167,17 +180,17 @@ fn saturate_semi_naive(
                 for t in delta.rel(atom.rel).iter() {
                     budget.checkpoint_with(&format_args!(
                         "semi-naive round {round}, {} facts derived",
-                        db.total_tuples()
+                        index.instance().total_tuples()
                     ))?;
                     let Some(fixed) = match_atom(atom, t) else {
                         continue;
                     };
                     let mut emit = |fact: Vec<Value>| {
-                        if !db.rel(rule.head.rel).contains(&fact) {
+                        if !index.instance().rel(rule.head.rel).contains(&fact) {
                             next_delta.insert(rule.head.rel, fact);
                         }
                     };
-                    fire_rule(rule, db, &index, &fixed, Some(i), &mut emit);
+                    fire_rule(rule, index, &fixed, Some(i), &mut emit);
                 }
             }
         }
@@ -297,6 +310,23 @@ pub fn eval_program_budgeted(
     strategy: Strategy,
     budget: &Budget,
 ) -> Result<Instance, EvalError> {
+    eval_program_with(p, edb, strategy, IndexMaintenance::Incremental, budget)
+}
+
+/// [`eval_program_budgeted`] with an explicit index-maintenance policy —
+/// the ablation knob behind the `fixpoint` bench. `Incremental` (the
+/// default everywhere else) threads one maintained [`IndexedInstance`]
+/// through the whole saturation — the index is built exactly once, at
+/// construction, and updated by delta as facts land. `Rebuild` reproduces
+/// the historical cost: one full index rebuild per round. Budget
+/// checkpoints fire at identical points under both policies.
+pub fn eval_program_with(
+    p: &Program,
+    edb: &Instance,
+    strategy: Strategy,
+    maintenance: IndexMaintenance,
+    budget: &Budget,
+) -> Result<Instance, EvalError> {
     if edb.schema() != &p.schema {
         return Err(EvalError::SchemaMismatch {
             expected: format!("{:?}", p.schema),
@@ -305,7 +335,7 @@ pub fn eval_program_budgeted(
     }
     let Stratification { rule_layers, .. } =
         stratify(p).map_err(EvalError::NotStratifiable)?;
-    let mut db = edb.clone();
+    let mut db = IndexedInstance::from_instance(edb).with_maintenance(maintenance);
     for layer in &rule_layers {
         let rules: Vec<&Rule> = layer.iter().map(|&i| &p.rules[i]).collect();
         if rules.is_empty() {
@@ -317,12 +347,12 @@ pub fn eval_program_budgeted(
         };
         if let Err(info) = saturated {
             return Err(EvalError::Exhausted {
-                partial: Box::new(db),
+                partial: Box::new(db.into_instance()),
                 info: Box::new(info),
             });
         }
     }
-    Ok(db)
+    Ok(db.into_instance())
 }
 
 #[cfg(test)]

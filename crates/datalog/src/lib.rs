@@ -19,6 +19,6 @@ pub mod engine;
 pub mod rule;
 pub mod stratify;
 
-pub use engine::{eval_program, eval_program_budgeted, EvalError, Strategy};
+pub use engine::{eval_program, eval_program_budgeted, eval_program_with, EvalError, Strategy};
 pub use rule::{Literal, Program, Rule};
 pub use stratify::{stratify, NotStratifiable, Stratification};

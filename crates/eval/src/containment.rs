@@ -14,10 +14,10 @@
 //! for `≠` or negation; the entry points check and panic, since a silent
 //! wrong answer here would poison every determinacy result downstream.
 
-use crate::cq_eval::{eval_cq, eval_ucq, normalize_eqs};
+use crate::cq_eval::{eval_cq, eval_cq_with_index, eval_ucq, normalize_eqs};
 use std::collections::BTreeMap;
 use vqd_budget::Budget;
-use vqd_instance::{Instance, NullGen, Value};
+use vqd_instance::{IndexedInstance, Instance, NullGen, Value};
 use vqd_query::{Cq, CqLang, Term, Ucq, VarId};
 
 /// The frozen body `[Q]` and frozen head of a CQ: variables become
@@ -163,8 +163,10 @@ pub fn contained_bounded_budgeted(
         )) {
             return BoundedContainment::Exhausted(Box::new(e));
         }
-        if !eval_cq(q1, &d).is_subset(&eval_cq(q2, &d)) {
-            return BoundedContainment::Refuted(Box::new(d));
+        // One index serves both sides of the subset test.
+        let idx = IndexedInstance::new(d);
+        if !eval_cq_with_index(q1, &idx).is_subset(&eval_cq_with_index(q2, &idx)) {
+            return BoundedContainment::Refuted(Box::new(idx.into_instance()));
         }
     }
     BoundedContainment::NoCounterexampleUpTo(max_domain)

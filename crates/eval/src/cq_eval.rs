@@ -5,9 +5,9 @@
 //! the safely negated atoms. Equalities are compiled away up front by
 //! unification, so the homomorphism engine only ever sees positive atoms.
 
-use crate::hom::{for_each_hom, Assignment, InstanceIndex, Ordering};
+use crate::hom::{for_each_hom, Assignment, Ordering};
 use std::collections::BTreeMap;
-use vqd_instance::{Instance, Relation, Value};
+use vqd_instance::{IndexedInstance, Instance, Relation, Value};
 use vqd_query::{Cq, Term, Ucq, VarId};
 
 /// The result of compiling equality constraints: a substitution making all
@@ -100,6 +100,15 @@ pub fn normalize_eqs(q: &Cq) -> Option<Cq> {
 /// the head, in a negated atom, or in an inequality must occur in a
 /// positive atom.
 pub fn eval_cq(q: &Cq, d: &Instance) -> Relation {
+    eval_cq_with_index(q, &IndexedInstance::from_instance(d))
+}
+
+/// [`eval_cq`] against a prebuilt index — the entry point for callers
+/// evaluating several queries over one instance (view application,
+/// containment, the saturation engines), which build the index once and
+/// share it instead of paying one full index build per query.
+pub fn eval_cq_with_index(q: &Cq, index: &IndexedInstance) -> Relation {
+    let d = index.instance();
     let mut out = Relation::new(q.arity());
     let Some(q) = normalize_eqs(q) else {
         return out;
@@ -108,7 +117,6 @@ pub fn eval_cq(q: &Cq, d: &Instance) -> Relation {
         q.is_safe(),
         "eval_cq: unsafe query (every variable must occur in a positive atom): {q}"
     );
-    let index = InstanceIndex::new(d);
     let resolve = |t: Term, asg: &Assignment| -> Value {
         match t {
             Term::Const(c) => c,
@@ -117,7 +125,7 @@ pub fn eval_cq(q: &Cq, d: &Instance) -> Relation {
     };
     for_each_hom(
         &q.atoms,
-        &index,
+        index,
         &Assignment::new(),
         Ordering::MostConstrained,
         |asg| {
@@ -142,11 +150,17 @@ pub fn eval_cq(q: &Cq, d: &Instance) -> Relation {
     out
 }
 
-/// Evaluates a union of conjunctive queries on `D`.
+/// Evaluates a union of conjunctive queries on `D` (one shared index for
+/// all disjuncts).
 pub fn eval_ucq(u: &Ucq, d: &Instance) -> Relation {
+    eval_ucq_with_index(u, &IndexedInstance::from_instance(d))
+}
+
+/// [`eval_ucq`] against a prebuilt index.
+pub fn eval_ucq_with_index(u: &Ucq, index: &IndexedInstance) -> Relation {
     let mut out = Relation::new(u.arity());
     for disjunct in &u.disjuncts {
-        out.union_with(&eval_cq(disjunct, d));
+        out.union_with(&eval_cq_with_index(disjunct, index));
     }
     out
 }

@@ -14,12 +14,16 @@
 //!   candidate tuples under the current assignment;
 //! * [`Ordering::Static`]: process atoms in the order given.
 //!
-//! Candidate tuples come from an [`InstanceIndex`]: per relation, per
+//! Candidate tuples come from an [`IndexedInstance`]: per relation, per
 //! column, a value → tuple-list map, so a partially bound atom scans only
-//! the tuples agreeing on its most selective bound column.
+//! the tuples agreeing on its most selective bound column. The index is
+//! owned and incrementally maintained by `vqd-instance`, so callers that
+//! evaluate many patterns over one instance (view application,
+//! containment, the Datalog saturator) build it once and thread it
+//! through instead of rebuilding per call.
 
-use std::collections::{BTreeMap, HashMap};
-use vqd_instance::{Instance, RelId, Tuple, Value};
+use std::collections::BTreeMap;
+use vqd_instance::{IndexedInstance, Instance, Tuple, Value};
 use vqd_query::{Atom, Term, VarId};
 
 /// Atom-selection strategy for the backtracking search.
@@ -32,83 +36,6 @@ pub enum Ordering {
     Static,
 }
 
-/// A per-instance search accelerator: for each relation and column, a map
-/// from value to the tuples holding it there.
-#[derive(Debug)]
-pub struct InstanceIndex<'a> {
-    instance: &'a Instance,
-    /// `by_col[rel][col][value]` = tuples with `value` at `col`.
-    by_col: Vec<Vec<HashMap<Value, Vec<&'a Tuple>>>>,
-    /// All tuples per relation (for unbound atoms).
-    all: Vec<Vec<&'a Tuple>>,
-}
-
-impl<'a> InstanceIndex<'a> {
-    /// Builds the index (one pass over the instance).
-    pub fn new(instance: &'a Instance) -> Self {
-        let mut by_col = Vec::with_capacity(instance.schema().len());
-        let mut all = Vec::with_capacity(instance.schema().len());
-        for (rel, decl) in instance.schema().iter() {
-            let mut cols: Vec<HashMap<Value, Vec<&Tuple>>> =
-                (0..decl.arity).map(|_| HashMap::new()).collect();
-            let mut tuples = Vec::with_capacity(instance.rel(rel).len());
-            for t in instance.rel(rel).iter() {
-                tuples.push(t);
-                for (c, &v) in t.iter().enumerate() {
-                    cols[c].entry(v).or_default().push(t);
-                }
-            }
-            by_col.push(cols);
-            all.push(tuples);
-        }
-        InstanceIndex { instance, by_col, all }
-    }
-
-    /// The indexed instance.
-    pub fn instance(&self) -> &'a Instance {
-        self.instance
-    }
-
-    /// Tuples of `rel` with `v` at column `col`.
-    fn probe(&self, rel: RelId, col: usize, v: Value) -> &[&'a Tuple] {
-        self.by_col[rel.idx()][col]
-            .get(&v)
-            .map_or(&[], Vec::as_slice)
-    }
-
-    /// All tuples of `rel`.
-    fn scan(&self, rel: RelId) -> &[&'a Tuple] {
-        &self.all[rel.idx()]
-    }
-
-    /// Candidate count for an atom under a partial assignment: the size of
-    /// the smallest applicable tuple list.
-    fn candidate_count(&self, atom: &Atom, asg: &Assignment) -> usize {
-        let mut best = self.scan(atom.rel).len();
-        for (c, t) in atom.args.iter().enumerate() {
-            if let Some(v) = resolve(*t, asg) {
-                best = best.min(self.probe(atom.rel, c, v).len());
-            }
-        }
-        best
-    }
-
-    /// Candidate tuples for an atom under a partial assignment (smallest
-    /// applicable list; matches are still re-checked during extension).
-    fn candidates(&self, atom: &Atom, asg: &Assignment) -> &[&'a Tuple] {
-        let mut best: &[&'a Tuple] = self.scan(atom.rel);
-        for (c, t) in atom.args.iter().enumerate() {
-            if let Some(v) = resolve(*t, asg) {
-                let probe = self.probe(atom.rel, c, v);
-                if probe.len() < best.len() {
-                    best = probe;
-                }
-            }
-        }
-        best
-    }
-}
-
 /// A partial variable assignment.
 pub type Assignment = BTreeMap<VarId, Value>;
 
@@ -116,6 +43,38 @@ fn resolve(t: Term, asg: &Assignment) -> Option<Value> {
     match t {
         Term::Const(c) => Some(c),
         Term::Var(v) => asg.get(&v).copied(),
+    }
+}
+
+/// Candidate count for an atom under a partial assignment: the size of
+/// the smallest applicable tuple list.
+fn candidate_count(index: &IndexedInstance, atom: &Atom, asg: &Assignment) -> usize {
+    let mut best = index.scan(atom.rel).len();
+    for (c, t) in atom.args.iter().enumerate() {
+        if let Some(v) = resolve(*t, asg) {
+            best = best.min(index.probe(atom.rel, c, v).len());
+        }
+    }
+    best
+}
+
+/// Candidate tuple ids for an atom under a partial assignment (smallest
+/// applicable list; matches are still re-checked during extension).
+fn candidate_ids(index: &IndexedInstance, atom: &Atom, asg: &Assignment) -> Vec<u32> {
+    let mut best: Option<&[u32]> = None;
+    let mut best_len = index.scan(atom.rel).len();
+    for (c, t) in atom.args.iter().enumerate() {
+        if let Some(v) = resolve(*t, asg) {
+            let probe = index.probe(atom.rel, c, v);
+            if probe.len() < best_len {
+                best = Some(probe);
+                best_len = probe.len();
+            }
+        }
+    }
+    match best {
+        Some(ids) => ids.to_vec(),
+        None => (0..best_len as u32).collect(),
     }
 }
 
@@ -159,7 +118,7 @@ fn unbind(asg: &mut Assignment, bound: &[VarId]) {
 /// it was stopped.
 pub fn for_each_hom(
     atoms: &[Atom],
-    index: &InstanceIndex<'_>,
+    index: &IndexedInstance,
     fixed: &Assignment,
     ordering: Ordering,
     mut f: impl FnMut(&Assignment) -> bool,
@@ -171,7 +130,7 @@ pub fn for_each_hom(
 
 fn search(
     atoms: &[Atom],
-    index: &InstanceIndex<'_>,
+    index: &IndexedInstance,
     used: &mut [bool],
     asg: &mut Assignment,
     ordering: Ordering,
@@ -186,7 +145,7 @@ fn search(
                 if *u {
                     continue;
                 }
-                let count = index.candidate_count(&atoms[i], asg);
+                let count = candidate_count(index, &atoms[i], asg);
                 if best.is_none_or(|(_, c)| count < c) {
                     best = Some((i, count));
                 }
@@ -198,10 +157,11 @@ fn search(
         return f(asg);
     };
     used[i] = true;
-    // Clone the candidate list handle (cheap: slice of refs) to avoid
-    // holding a borrow across the recursive call.
-    let cands: Vec<&Tuple> = index.candidates(&atoms[i], asg).to_vec();
-    for tuple in cands {
+    // Own the candidate id list (cheap: Vec<u32>) so no borrow of the
+    // index's hash maps is held across the recursive call.
+    let cands = candidate_ids(index, &atoms[i], asg);
+    for id in cands {
+        let tuple = index.tuple(atoms[i].rel, id);
         if let Some(bound) = try_match(&atoms[i], tuple, asg) {
             if !search(atoms, index, used, asg, ordering, f) {
                 unbind(asg, &bound);
@@ -218,7 +178,7 @@ fn search(
 /// Finds one homomorphism extending `fixed`, if any.
 pub fn find_hom(
     atoms: &[Atom],
-    index: &InstanceIndex<'_>,
+    index: &IndexedInstance,
     fixed: &Assignment,
 ) -> Option<Assignment> {
     let mut found = None;
@@ -230,9 +190,11 @@ pub fn find_hom(
 }
 
 /// Convenience: is there a homomorphism from `atoms` into `instance`
-/// extending `fixed`?
+/// extending `fixed`? Builds a throwaway index; callers with more than
+/// one test against the same instance should build an [`IndexedInstance`]
+/// once and use [`find_hom`] directly.
 pub fn hom_exists(atoms: &[Atom], instance: &Instance, fixed: &Assignment) -> bool {
-    let index = InstanceIndex::new(instance);
+    let index = IndexedInstance::from_instance(instance);
     find_hom(atoms, &index, fixed).is_some()
 }
 
@@ -247,7 +209,22 @@ pub fn instance_hom(
     tgt: &Instance,
     fix: &[Value],
 ) -> Option<BTreeMap<Value, Value>> {
-    assert_eq!(src.schema(), tgt.schema(), "instance_hom requires matching schemas");
+    let index = IndexedInstance::from_instance(tgt);
+    instance_hom_with_index(src, &index, fix)
+}
+
+/// [`instance_hom`] against a prebuilt target index — use when several
+/// sources are tested against one target.
+pub fn instance_hom_with_index(
+    src: &Instance,
+    tgt: &IndexedInstance,
+    fix: &[Value],
+) -> Option<BTreeMap<Value, Value>> {
+    assert_eq!(
+        src.schema(),
+        tgt.instance().schema(),
+        "instance_hom requires matching schemas"
+    );
     // Build a pattern: each non-fixed value becomes a variable.
     let mut var_of: BTreeMap<Value, VarId> = BTreeMap::new();
     let mut atoms = Vec::new();
@@ -267,8 +244,7 @@ pub fn instance_hom(
             atoms.push(Atom::new(rel, args));
         }
     }
-    let index = InstanceIndex::new(tgt);
-    let asg = find_hom(&atoms, &index, &Assignment::new())?;
+    let asg = find_hom(&atoms, tgt, &Assignment::new())?;
     let mut out: BTreeMap<Value, Value> = fix.iter().map(|&v| (v, v)).collect();
     for (value, var) in var_of {
         out.insert(value, asg[&var]);
@@ -330,12 +306,13 @@ mod tests {
     fn fixed_assignments_restrict() {
         let d = graph(&[(0, 1), (2, 3)]);
         let (q, vars) = path_pattern(d.schema(), 1);
+        let index = IndexedInstance::from_instance(&d);
         let mut fixed = Assignment::new();
         fixed.insert(vars[0], named(0));
-        let h = find_hom(&q.atoms, &InstanceIndex::new(&d), &fixed).expect("hom");
+        let h = find_hom(&q.atoms, &index, &fixed).expect("hom");
         assert_eq!(h[&vars[1]], named(1));
         fixed.insert(vars[0], named(1));
-        assert!(find_hom(&q.atoms, &InstanceIndex::new(&d), &fixed).is_none());
+        assert!(find_hom(&q.atoms, &index, &fixed).is_none());
     }
 
     #[test]
@@ -360,7 +337,7 @@ mod tests {
         let mut count = 0;
         for_each_hom(
             &q.atoms,
-            &InstanceIndex::new(&d),
+            &IndexedInstance::from_instance(&d),
             &Assignment::new(),
             Ordering::MostConstrained,
             |_| {
@@ -375,7 +352,7 @@ mod tests {
     fn both_orderings_agree() {
         let d = graph(&[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
         let (q, _) = path_pattern(d.schema(), 3);
-        let index = InstanceIndex::new(&d);
+        let index = IndexedInstance::from_instance(&d);
         let mut c1 = 0;
         let mut c2 = 0;
         for_each_hom(&q.atoms, &index, &Assignment::new(), Ordering::MostConstrained, |_| {
@@ -397,7 +374,7 @@ mod tests {
         let mut count = 0;
         let completed = for_each_hom(
             &q.atoms,
-            &InstanceIndex::new(&d),
+            &IndexedInstance::from_instance(&d),
             &Assignment::new(),
             Ordering::MostConstrained,
             |_| {
@@ -415,7 +392,7 @@ mod tests {
         let mut count = 0;
         for_each_hom(
             &[],
-            &InstanceIndex::new(&d),
+            &IndexedInstance::from_instance(&d),
             &Assignment::new(),
             Ordering::MostConstrained,
             |asg| {
@@ -445,6 +422,31 @@ mod tests {
         // No hom if target lacks edges from c0 and c0 is fixed.
         let tgt2 = graph(&[(1, 2)]);
         assert!(instance_hom(&src, &tgt2, &[named(0)]).is_none());
+    }
+
+    #[test]
+    fn search_works_against_maintained_index() {
+        // Insert incrementally (arena order differs from sorted order) and
+        // check the search still enumerates the same homomorphism set.
+        let s = Schema::new([("E", 2)]);
+        let mut idx = IndexedInstance::empty(&s);
+        for (a, b) in [(2, 0), (0, 1), (1, 2), (0, 2)] {
+            idx.insert_named("E", vec![named(a), named(b)]);
+        }
+        let (q, _) = path_pattern(idx.instance().schema(), 2);
+        let mut maintained = 0;
+        for_each_hom(&q.atoms, &idx, &Assignment::new(), Ordering::MostConstrained, |_| {
+            maintained += 1;
+            true
+        });
+        let fresh_idx = IndexedInstance::from_instance(idx.instance());
+        let mut fresh = 0;
+        for_each_hom(&q.atoms, &fresh_idx, &Assignment::new(), Ordering::MostConstrained, |_| {
+            fresh += 1;
+            true
+        });
+        assert_eq!(maintained, fresh);
+        assert!(maintained > 0);
     }
 
     #[test]

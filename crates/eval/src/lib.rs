@@ -29,9 +29,12 @@ pub use containment::{
     contained_bounded, contained_bounded_budgeted, cq_contained, cq_contained_in_ucq,
     cq_equivalent, freeze, ucq_contained, ucq_equivalent, BoundedContainment,
 };
-pub use cq_eval::{eval_cq, eval_ucq, normalize_eqs};
+pub use cq_eval::{eval_cq, eval_cq_with_index, eval_ucq, eval_ucq_with_index, normalize_eqs};
 pub use fo_eval::{eval_fo, eval_fo_budgeted, evaluation_universe};
-pub use hom::{find_hom, for_each_hom, hom_exists, instance_hom, Assignment, InstanceIndex, Ordering};
+pub use hom::{
+    find_hom, for_each_hom, hom_exists, instance_hom, instance_hom_with_index, Assignment,
+    Ordering,
+};
 pub use minimize::{minimize_cq, minimize_cq_exhaustive, minimize_ucq};
 pub use monotone::{find_nonmonotone_witness, monotone_on_pair, NonMonotoneWitness};
-pub use view_eval::{apply_views, eval_query};
+pub use view_eval::{apply_views, apply_views_with_index, eval_query, eval_query_with_index};

@@ -4,9 +4,9 @@
 //! computes the view image `V(D)` over the output schema `σ_V` — the
 //! object determinacy quantifies over.
 
-use crate::cq_eval::{eval_cq, eval_ucq};
+use crate::cq_eval::{eval_cq, eval_cq_with_index, eval_ucq, eval_ucq_with_index};
 use crate::fo_eval::eval_fo;
-use vqd_instance::{Instance, Relation};
+use vqd_instance::{IndexedInstance, Instance, Relation};
 use vqd_query::{QueryExpr, ViewSet};
 
 /// Evaluates any query expression on `d`.
@@ -18,20 +18,45 @@ pub fn eval_query(q: &QueryExpr, d: &Instance) -> Relation {
     }
 }
 
+/// [`eval_query`] against a prebuilt index over the instance. The FO
+/// evaluator is subformula-driven rather than index-driven, so that arm
+/// simply evaluates on the underlying instance.
+pub fn eval_query_with_index(q: &QueryExpr, index: &IndexedInstance) -> Relation {
+    match q {
+        QueryExpr::Cq(cq) => eval_cq_with_index(cq, index),
+        QueryExpr::Ucq(u) => eval_ucq_with_index(u, index),
+        QueryExpr::Fo(f) => eval_fo(f, index.instance()),
+    }
+}
+
 /// Computes the view image `V(D)` as an instance over `σ_V`.
+///
+/// Builds one shared index for all view queries (historically this cost
+/// one full index build *per view*).
 ///
 /// # Panics
 /// Panics if `d`'s schema differs from the view set's input schema.
 pub fn apply_views(views: &ViewSet, d: &Instance) -> Instance {
+    apply_views_with_index(views, &IndexedInstance::from_instance(d))
+}
+
+/// [`apply_views`] against a prebuilt index — the entry point for the
+/// determinacy searches, which evaluate both `V` and `Q` on every
+/// candidate instance and share a single index between them.
+///
+/// # Panics
+/// Panics if the indexed instance's schema differs from the view set's
+/// input schema.
+pub fn apply_views_with_index(views: &ViewSet, index: &IndexedInstance) -> Instance {
     assert_eq!(
-        d.schema(),
+        index.instance().schema(),
         views.input_schema(),
         "apply_views: instance schema mismatch"
     );
     let mut out = Instance::empty(views.output_schema());
     for (i, v) in views.views().iter().enumerate() {
         let rel = views.output_rel(i);
-        let result = eval_query(&v.query, d);
+        let result = eval_query_with_index(&v.query, index);
         for t in result.iter() {
             out.insert(rel, t.clone());
         }

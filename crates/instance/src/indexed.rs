@@ -1,0 +1,359 @@
+//! An owned, incrementally maintained index over an [`Instance`].
+//!
+//! The homomorphism engine, the Datalog saturator, the chase and every
+//! determinacy search built on top of them all want the same accelerator:
+//! per relation, per column, a value → tuple-list map (plus a flat
+//! all-tuples list for unbound atoms). Historically that accelerator was a
+//! borrowed `InstanceIndex<'a>` rebuilt from scratch at every call site —
+//! including once *per round* inside the semi-naive fixpoint, where the
+//! borrow had to be dropped before the instance could be mutated and was
+//! therefore reconstructed from the full instance on every iteration.
+//!
+//! [`IndexedInstance`] inverts the ownership: it *owns* the instance and
+//! keeps the index up to date as tuples are inserted or merged, so a
+//! fixpoint loop pays O(Δ) index maintenance per round instead of O(db).
+//! A [generation counter](IndexedInstance::generation) increases on every
+//! effective mutation, so callers that cache anything derived from the
+//! index can detect staleness instead of silently using a stale view.
+//!
+//! The [`IndexMaintenance`] policy is a DESIGN.md-style ablation knob: the
+//! [`Rebuild`](IndexMaintenance::Rebuild) mode reproduces the historical
+//! rebuild-per-round cost (inserts leave the index dirty; [`refresh`]
+//! rebuilds it wholesale), which is what the `fixpoint` bench records as
+//! its baseline.
+//!
+//! [`refresh`]: IndexedInstance::refresh
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::instance::Instance;
+use crate::relation::Tuple;
+use crate::schema::{RelId, Schema};
+use crate::value::Value;
+
+/// Index maintenance policy — an ablation knob for the fixpoint engines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IndexMaintenance {
+    /// Maintain the index incrementally on every insert (the default):
+    /// saturation loops never rebuild.
+    #[default]
+    Incremental,
+    /// Let inserts leave the index dirty and rebuild it wholesale on
+    /// [`IndexedInstance::refresh`] — the historical rebuild-per-round
+    /// behaviour, kept as the honest baseline for `BENCH_engine.json`.
+    Rebuild,
+}
+
+/// Snapshot of the per-thread index maintenance counters.
+///
+/// The counters are thread-local so a server worker (one request per
+/// thread at a time) can diff two snapshots around a request and report
+/// exactly the index work that request caused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IndexStats {
+    /// Full index builds (fresh constructions plus dirty rebuilds).
+    pub builds: u64,
+    /// Tuples applied to an index incrementally (no rebuild).
+    pub delta_tuples: u64,
+}
+
+thread_local! {
+    static STATS: Cell<IndexStats> = const { Cell::new(IndexStats { builds: 0, delta_tuples: 0 }) };
+}
+
+/// Returns the current thread's cumulative index-maintenance counters.
+pub fn index_stats() -> IndexStats {
+    STATS.with(Cell::get)
+}
+
+fn note_build() {
+    STATS.with(|s| {
+        let mut v = s.get();
+        v.builds += 1;
+        s.set(v);
+    });
+}
+
+fn note_delta(n: u64) {
+    STATS.with(|s| {
+        let mut v = s.get();
+        v.delta_tuples += n;
+        s.set(v);
+    });
+}
+
+/// An [`Instance`] together with a maintained search accelerator: per
+/// relation an arena of its tuples, and per column a value → arena-id map.
+///
+/// Tuple identifiers are arena positions (`u32`), stable for the lifetime
+/// of the index; [`probe`](Self::probe) returns ids and
+/// [`tuple`](Self::tuple) resolves them. A fresh build enumerates each
+/// relation in its canonical (sorted) order, so one-shot uses behave
+/// exactly like the historical borrowed index; incremental inserts append.
+#[derive(Clone, Debug)]
+pub struct IndexedInstance {
+    instance: Instance,
+    /// `arena[rel]` — owned copies of the relation's tuples, in index order.
+    arena: Vec<Vec<Tuple>>,
+    /// `by_col[rel][col][value]` — arena ids of tuples with `value` at `col`.
+    by_col: Vec<Vec<HashMap<Value, Vec<u32>>>>,
+    generation: u64,
+    maintenance: IndexMaintenance,
+    dirty: bool,
+}
+
+impl IndexedInstance {
+    /// An indexed empty instance over `schema`.
+    pub fn empty(schema: &Schema) -> Self {
+        Self::new(Instance::empty(schema))
+    }
+
+    /// Takes ownership of `instance` and builds its index (one pass).
+    pub fn new(instance: Instance) -> Self {
+        let mut idx = IndexedInstance {
+            instance,
+            arena: Vec::new(),
+            by_col: Vec::new(),
+            generation: 0,
+            maintenance: IndexMaintenance::Incremental,
+            dirty: false,
+        };
+        idx.rebuild();
+        idx
+    }
+
+    /// Builds an index over a clone of `instance`.
+    pub fn from_instance(instance: &Instance) -> Self {
+        Self::new(instance.clone())
+    }
+
+    /// Sets the maintenance policy (builder style). Under
+    /// [`IndexMaintenance::Rebuild`], mutations mark the index dirty and
+    /// [`refresh`](Self::refresh) rebuilds it from scratch.
+    pub fn with_maintenance(mut self, maintenance: IndexMaintenance) -> Self {
+        self.maintenance = maintenance;
+        self
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Unwraps the underlying instance, discarding the index.
+    pub fn into_instance(self) -> Instance {
+        self.instance
+    }
+
+    /// The generation counter: increases by one for every tuple that
+    /// actually entered the instance. Unchanged by no-op mutations,
+    /// rebuilds and refreshes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Rebuilds the whole index from the instance (counts as a build).
+    fn rebuild(&mut self) {
+        self.arena.clear();
+        self.by_col.clear();
+        for (rel, decl) in self.instance.schema().iter() {
+            let mut cols: Vec<HashMap<Value, Vec<u32>>> =
+                (0..decl.arity).map(|_| HashMap::new()).collect();
+            let mut tuples = Vec::with_capacity(self.instance.rel(rel).len());
+            for t in self.instance.rel(rel).iter() {
+                let id = tuples.len() as u32;
+                for (c, &v) in t.iter().enumerate() {
+                    cols[c].entry(v).or_default().push(id);
+                }
+                tuples.push(t.clone());
+            }
+            self.arena.push(tuples);
+            self.by_col.push(cols);
+        }
+        self.dirty = false;
+        note_build();
+    }
+
+    /// Brings the index up to date. A no-op under
+    /// [`IndexMaintenance::Incremental`] (the index is never stale); under
+    /// [`IndexMaintenance::Rebuild`] this is the per-round full rebuild the
+    /// historical engines paid.
+    pub fn refresh(&mut self) {
+        if self.dirty {
+            self.rebuild();
+        }
+    }
+
+    /// Records `tuple` (already inserted into the instance) in the index.
+    fn index_tuple(&mut self, rel: RelId, tuple: Tuple) {
+        let r = rel.idx();
+        let id = self.arena[r].len() as u32;
+        for (c, &v) in tuple.iter().enumerate() {
+            self.by_col[r][c].entry(v).or_default().push(id);
+        }
+        self.arena[r].push(tuple);
+        note_delta(1);
+    }
+
+    /// Inserts a tuple, maintaining the index; returns `true` iff the
+    /// tuple was new. Bumps the generation on effective inserts only.
+    pub fn insert(&mut self, rel: RelId, tuple: Tuple) -> bool {
+        if !self.instance.insert(rel, tuple.clone()) {
+            return false;
+        }
+        self.generation += 1;
+        match self.maintenance {
+            IndexMaintenance::Incremental => self.index_tuple(rel, tuple),
+            IndexMaintenance::Rebuild => self.dirty = true,
+        }
+        true
+    }
+
+    /// Inserts by relation name (panics if the name is unknown).
+    pub fn insert_named(&mut self, name: &str, tuple: Tuple) -> bool {
+        let rel = self.instance.schema().rel(name);
+        self.insert(rel, tuple)
+    }
+
+    /// Merges every tuple of `delta` (same schema) into the instance,
+    /// maintaining the index; returns how many tuples were new.
+    pub fn apply_delta(&mut self, delta: &Instance) -> u64 {
+        assert_eq!(
+            self.instance.schema(),
+            delta.schema(),
+            "apply_delta requires matching schemas"
+        );
+        let mut added = 0;
+        for (rel, r) in delta.iter() {
+            for t in r.iter() {
+                if self.insert(rel, t.clone()) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// All tuples of `rel`, in index (arena) order.
+    pub fn scan(&self, rel: RelId) -> &[Tuple] {
+        debug_assert!(!self.dirty, "IndexedInstance read while dirty; call refresh()");
+        &self.arena[rel.idx()]
+    }
+
+    /// Arena ids of the tuples of `rel` holding `v` at column `col`.
+    pub fn probe(&self, rel: RelId, col: usize, v: Value) -> &[u32] {
+        debug_assert!(!self.dirty, "IndexedInstance read while dirty; call refresh()");
+        self.by_col[rel.idx()][col].get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolves an arena id from [`probe`](Self::probe) to its tuple.
+    pub fn tuple(&self, rel: RelId, id: u32) -> &Tuple {
+        &self.arena[rel.idx()][id as usize]
+    }
+
+    /// A canonical rendering of the *index structure* (not just the
+    /// instance): per relation the sorted arena contents, per column the
+    /// sorted value → sorted-tuple-list map, with ids resolved to tuples so
+    /// arena order is irrelevant. Two indexes over the same instance —
+    /// one built fresh, one maintained through any insert/merge history —
+    /// must produce identical fingerprints; the property tests rely on it.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for (rel, decl) in self.instance.schema().iter() {
+            let r = rel.idx();
+            let mut tuples: Vec<&Tuple> = self.arena[r].iter().collect();
+            tuples.sort();
+            let _ = writeln!(out, "rel {} arity {} arena {:?}", decl.name, decl.arity, tuples);
+            for (c, col) in self.by_col[r].iter().enumerate() {
+                let mut entries: Vec<(Value, Vec<&Tuple>)> = col
+                    .iter()
+                    .map(|(v, ids)| {
+                        let mut ts: Vec<&Tuple> =
+                            ids.iter().map(|&id| &self.arena[r][id as usize]).collect();
+                        ts.sort();
+                        (*v, ts)
+                    })
+                    .collect();
+                entries.sort();
+                let _ = writeln!(out, "  col {c}: {entries:?}");
+            }
+        }
+        out
+    }
+}
+
+impl From<Instance> for IndexedInstance {
+    fn from(instance: Instance) -> Self {
+        Self::new(instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::named;
+
+    fn schema() -> Schema {
+        Schema::new([("E", 2), ("P", 1)])
+    }
+
+    #[test]
+    fn maintained_matches_fresh() {
+        let s = schema();
+        let mut idx = IndexedInstance::empty(&s);
+        for (a, b) in [(3, 1), (0, 2), (1, 1), (3, 1)] {
+            idx.insert_named("E", vec![named(a), named(b)]);
+        }
+        idx.insert_named("P", vec![named(2)]);
+        let fresh = IndexedInstance::from_instance(idx.instance());
+        assert_eq!(idx.fingerprint(), fresh.fingerprint());
+    }
+
+    #[test]
+    fn generation_counts_effective_inserts() {
+        let s = schema();
+        let mut idx = IndexedInstance::empty(&s);
+        assert_eq!(idx.generation(), 0);
+        assert!(idx.insert_named("E", vec![named(0), named(1)]));
+        assert_eq!(idx.generation(), 1);
+        // Duplicate: no-op, generation unchanged.
+        assert!(!idx.insert_named("E", vec![named(0), named(1)]));
+        assert_eq!(idx.generation(), 1);
+        let mut delta = Instance::empty(&s);
+        delta.insert_named("E", vec![named(0), named(1)]);
+        delta.insert_named("E", vec![named(1), named(2)]);
+        assert_eq!(idx.apply_delta(&delta), 1);
+        assert_eq!(idx.generation(), 2);
+    }
+
+    #[test]
+    fn probe_and_scan_agree_with_instance() {
+        let s = schema();
+        let mut idx = IndexedInstance::empty(&s);
+        idx.insert_named("E", vec![named(0), named(1)]);
+        idx.insert_named("E", vec![named(1), named(2)]);
+        idx.insert_named("E", vec![named(0), named(2)]);
+        let e = idx.instance().schema().rel("E");
+        assert_eq!(idx.scan(e).len(), 3);
+        let hits = idx.probe(e, 0, named(0));
+        assert_eq!(hits.len(), 2);
+        for &id in hits {
+            assert_eq!(idx.tuple(e, id)[0], named(0));
+        }
+        assert!(idx.probe(e, 1, named(9)).is_empty());
+    }
+
+    #[test]
+    fn rebuild_mode_goes_dirty_then_refreshes() {
+        let s = schema();
+        let mut idx = IndexedInstance::empty(&s).with_maintenance(IndexMaintenance::Rebuild);
+        idx.insert_named("E", vec![named(0), named(1)]);
+        idx.refresh();
+        let e = idx.instance().schema().rel("E");
+        assert_eq!(idx.scan(e).len(), 1);
+        let fresh = IndexedInstance::from_instance(idx.instance());
+        assert_eq!(idx.fingerprint(), fresh.fingerprint());
+    }
+}

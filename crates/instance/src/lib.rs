@@ -15,6 +15,8 @@
 //! * [`schema`] — interned relation symbols, schema unions, disjoint copies;
 //! * [`relation`] / [`instance`] — canonical-ordered tuple sets, active
 //!   domains, extensions, restrictions, value maps;
+//! * [`indexed`] — an owned, incrementally maintained per-relation /
+//!   per-column index over an instance, shared by every engine's hot loop;
 //! * [`iso`] — isomorphism, automorphism and canonical-form machinery used
 //!   by genericity checks (Proposition 4.3) and the semantic determinacy
 //!   checker;
@@ -25,12 +27,14 @@
 #![warn(missing_docs)]
 
 pub mod gen;
+pub mod indexed;
 pub mod instance;
 pub mod iso;
 pub mod relation;
 pub mod schema;
 pub mod value;
 
+pub use indexed::{index_stats, IndexMaintenance, IndexStats, IndexedInstance};
 pub use instance::Instance;
 pub use relation::{Relation, Tuple};
 pub use schema::{RelDecl, RelId, Schema};

@@ -187,6 +187,9 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, ctx: &EngineCtx) {
 /// Executes one job and sends exactly one reply.
 fn run_job(job: Job, ctx: &EngineCtx) {
     let Job { envelope, budget, reply } = job;
+    // Workers serve one job at a time, so diffing the thread-local index
+    // counters around `execute` attributes index work to this request.
+    let idx_before = vqd_instance::index_stats();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         engine::execute(&envelope.request, &budget, ctx)
     }))
@@ -203,7 +206,10 @@ fn run_job(job: Job, ctx: &EngineCtx) {
         Outcome::Exhausted { .. } => ctx.metrics.exhausted.fetch_add(1, Ordering::Relaxed),
         _ => ctx.metrics.completed_ok.fetch_add(1, Ordering::Relaxed),
     };
-    let work = WireStats::from(budget.work_done());
+    let idx_after = vqd_instance::index_stats();
+    let mut work = WireStats::from(budget.work_done());
+    work.index_builds = idx_after.builds.wrapping_sub(idx_before.builds);
+    work.index_tuples = idx_after.delta_tuples.wrapping_sub(idx_before.delta_tuples);
     // The connection may have hung up; a dead reply channel is fine.
     let _ = reply.send(Response::new(envelope.id.clone(), outcome, work));
 }

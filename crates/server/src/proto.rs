@@ -191,6 +191,10 @@ pub struct WireStats {
     pub tuples: u64,
     /// Wall-clock time in milliseconds.
     pub elapsed_ms: u64,
+    /// Full index (re)builds performed while serving the request.
+    pub index_builds: u64,
+    /// Tuples indexed incrementally (delta maintenance, no rebuild).
+    pub index_tuples: u64,
 }
 
 impl From<WorkStats> for WireStats {
@@ -199,6 +203,8 @@ impl From<WorkStats> for WireStats {
             steps: w.steps,
             tuples: w.tuples,
             elapsed_ms: w.elapsed.as_millis().min(u128::from(u64::MAX)) as u64,
+            index_builds: 0,
+            index_tuples: 0,
         }
     }
 }
@@ -704,6 +710,8 @@ impl Response {
                     ("steps", Value::from(self.work.steps)),
                     ("tuples", Value::from(self.work.tuples)),
                     ("elapsed_ms", Value::from(self.work.elapsed_ms)),
+                    ("index_builds", Value::from(self.work.index_builds)),
+                    ("index_tuples", Value::from(self.work.index_tuples)),
                 ]),
             ),
             ("result", Value::Obj(result)),
@@ -723,6 +731,8 @@ impl Response {
                 steps: w.get("steps").and_then(Value::as_u64).unwrap_or(0),
                 tuples: w.get("tuples").and_then(Value::as_u64).unwrap_or(0),
                 elapsed_ms: w.get("elapsed_ms").and_then(Value::as_u64).unwrap_or(0),
+                index_builds: w.get("index_builds").and_then(Value::as_u64).unwrap_or(0),
+                index_tuples: w.get("index_tuples").and_then(Value::as_u64).unwrap_or(0),
             },
             None => WireStats::default(),
         };
@@ -956,7 +966,13 @@ mod tests {
 
     #[test]
     fn responses_round_trip() {
-        let work = WireStats { steps: 12, tuples: 3, elapsed_ms: 40 };
+        let work = WireStats {
+            steps: 12,
+            tuples: 3,
+            elapsed_ms: 40,
+            index_builds: 2,
+            index_tuples: 17,
+        };
         round_trip_response(Response::new("1", Outcome::Pong, WireStats::default()));
         round_trip_response(Response::new(
             "2",

@@ -318,3 +318,95 @@ fn cancellation_is_cooperative_and_recoverable() {
         other => panic!("recovery run failed: {other:?}"),
     }
 }
+
+/// The incremental index maintenance policy must be invisible to
+/// governance: tripping the budget at every checkpoint of a semi-naive
+/// saturation yields the same completed-step counts and the same partial
+/// database as the rebuild-per-round baseline (the pre-refactor cost
+/// model), while the index-build counters confirm the two policies do
+/// genuinely different index work.
+#[test]
+fn index_maintenance_policy_does_not_change_governance_semantics() {
+    use vqd::datalog::eval_program_with;
+    use vqd::instance::{index_stats, IndexMaintenance};
+
+    let schema = Schema::new([("E", 2), ("T", 2)]);
+    let mut names = DomainNames::new();
+    let prog = vqd::datalog::Program::parse(
+        &schema,
+        &mut names,
+        "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+    )
+    .unwrap();
+    let edb = parse_instance(
+        &schema,
+        &mut names,
+        "E(A,B). E(B,C). E(C,D). E(D,F). E(F,G).",
+    )
+    .unwrap();
+    let run = |m: IndexMaintenance, b: &Budget| {
+        eval_program_with(&prog, &edb, Strategy::SemiNaive, m, b)
+    };
+
+    // Unbudgeted baselines: same fixpoint, different index work. The
+    // incremental engine builds its index exactly once for the whole
+    // multi-round saturation; the rebuild baseline rebuilds every round.
+    let before = index_stats();
+    let full_inc = run(IndexMaintenance::Incremental, &Budget::unlimited()).unwrap();
+    let mid = index_stats();
+    let full_reb = run(IndexMaintenance::Rebuild, &Budget::unlimited()).unwrap();
+    let after = index_stats();
+    assert_eq!(full_inc, full_reb, "the two policies must reach the same fixpoint");
+    assert_eq!(
+        mid.builds - before.builds,
+        1,
+        "incremental saturation must build its index exactly once"
+    );
+    assert!(
+        after.builds - mid.builds > 1,
+        "rebuild baseline must rebuild at least once per round"
+    );
+    assert!(
+        mid.delta_tuples - before.delta_tuples > 0,
+        "incremental saturation must index its deltas in place"
+    );
+
+    // Learn the checkpoint count, then trip both engines at every point.
+    let probe = Budget::unlimited();
+    run(IndexMaintenance::Incremental, &probe).unwrap();
+    let total = probe.steps();
+    assert!(total > 0, "saturation reached no checkpoints — it is ungoverned");
+    for n in 1..=total {
+        let inc = run(IndexMaintenance::Incremental, &Budget::unlimited().trip_after(n));
+        let reb = run(IndexMaintenance::Rebuild, &Budget::unlimited().trip_after(n));
+        match (inc, reb) {
+            (
+                Err(EvalError::Exhausted { partial: p1, info: i1 }),
+                Err(EvalError::Exhausted { partial: p2, info: i2 }),
+            ) => {
+                assert_eq!(i1.reason, ExhaustReason::FaultInjected);
+                assert_eq!(
+                    i1.work_done.steps,
+                    n - 1,
+                    "trip at checkpoint {n}/{total} misreports completed work"
+                );
+                assert_eq!(
+                    i1.work_done.steps, i2.work_done.steps,
+                    "policies disagree on work done at trip {n}/{total}"
+                );
+                assert_eq!(
+                    i1.work_done.tuples, i2.work_done.tuples,
+                    "policies disagree on tuples charged at trip {n}/{total}"
+                );
+                assert_eq!(p1, p2, "partial databases diverge at trip {n}/{total}");
+                assert!(
+                    p1.is_subinstance_of(&full_inc),
+                    "partial at trip {n}/{total} contains facts outside the fixpoint"
+                );
+            }
+            (inc, reb) => panic!(
+                "trip at {n}/{total}: both policies must exhaust, got {inc:?} / {reb:?}"
+            ),
+        }
+    }
+}

@@ -9,8 +9,9 @@ use vqd::core::determinacy::semantic::check_exhaustive;
 use vqd::core::determinacy::unrestricted::decide_unrestricted;
 use vqd::eval::{
     apply_views, cq_contained, cq_equivalent, eval_cq, eval_fo, for_each_hom, freeze,
-    minimize_cq, normalize_eqs, Assignment, InstanceIndex, Ordering,
+    minimize_cq, normalize_eqs, Assignment, Ordering,
 };
+use vqd::instance::IndexedInstance;
 use vqd::instance::iso::canonical_form;
 use vqd::instance::{named, DomainNames, Instance, NullGen, Schema, Value};
 use vqd::query::{cq_to_fo, parse_query, Atom, Cq, QueryExpr, Term, VarId, ViewSet};
@@ -173,7 +174,7 @@ proptest! {
     /// Both homomorphism orderings enumerate the same match count.
     #[test]
     fn hom_orderings_agree(q in arb_cq(3, 3, 0), d in arb_instance(3)) {
-        let index = InstanceIndex::new(&d);
+        let index = IndexedInstance::from_instance(&d);
         let mut c1 = 0u64;
         let mut c2 = 0u64;
         for_each_hom(&q.atoms, &index, &Assignment::new(), Ordering::MostConstrained, |_| {
