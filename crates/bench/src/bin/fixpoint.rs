@@ -231,6 +231,12 @@ fn main() {
         chase_rows.push(chase_case(&s, m, probes, args.reps, &mut agree));
     }
 
+    // Disabled-path overhead witness: tracing was never enabled, so the
+    // span guards in the chase/fixpoint loops must have stayed inert —
+    // zero events recorded means zero clock reads and zero ring writes.
+    let span_events = vqd_obs::metric_value(vqd_obs::Metric::SpanEventsRecorded);
+    let engine_counters = vqd_obs::local_snapshot();
+
     let report = Value::object([
         ("bench", Value::from("engine_fixpoint")),
         ("reps", Value::from(args.reps)),
@@ -239,6 +245,14 @@ fn main() {
         ("datalog", Value::Arr(datalog_rows)),
         ("chase", Value::Arr(chase_rows)),
         ("outputs_agree", Value::from(agree)),
+        (
+            "obs",
+            Value::object([
+                ("tracing_enabled", Value::from(vqd_obs::tracing_enabled())),
+                ("span_events_recorded", Value::from(span_events)),
+                ("engine_counters", engine_counters.to_json()),
+            ]),
+        ),
     ]);
     let json = report.to_string();
     match std::fs::File::create(&args.out).and_then(|mut f| writeln!(f, "{json}")) {
@@ -250,6 +264,13 @@ fn main() {
     }
     if !agree {
         eprintln!("fixpoint: maintenance policies disagreed — this is a bug");
+        std::process::exit(1)
+    }
+    if span_events != 0 {
+        eprintln!(
+            "fixpoint: {span_events} span events recorded with tracing disabled — \
+             the disabled path is paying tracing overhead"
+        );
         std::process::exit(1)
     }
 }

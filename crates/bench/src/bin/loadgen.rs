@@ -236,6 +236,11 @@ fn main() {
         args.conns, args.requests, args.workers, args.queue_depth
     );
 
+    // In-process runs can bracket the drive with registry snapshots so
+    // the report carries per-op counters and latency histograms.
+    let registry = handle.as_ref().map(|h| h.registry());
+    let registry_before = registry.as_ref().map(|r| r.snapshot());
+
     let started = Instant::now();
     let threads: Vec<_> = (0..args.conns)
         .map(|i| {
@@ -271,6 +276,7 @@ fn main() {
         }
     }
     let elapsed = started.elapsed();
+    let registry_after = registry.as_ref().map(|r| r.snapshot());
     let server_metrics: Option<WireMetrics> = handle.map(|h| h.shutdown());
 
     let completed = all.latencies_ms.len() as u64;
@@ -322,6 +328,22 @@ fn main() {
                 ("max_queue_depth", Value::from(m.max_queue_depth)),
                 ("connections_total", Value::from(m.connections_total)),
                 ("workers", Value::from(m.workers)),
+            ]),
+        ));
+    }
+    if let (Some(before), Some(after)) = (&registry_before, &registry_after) {
+        let deltas: Vec<(String, Value)> = after
+            .counter_delta(before)
+            .into_iter()
+            .filter(|&(_, v)| v != 0)
+            .map(|(k, v)| (k, Value::from(v)))
+            .collect();
+        report.push((
+            "registry".to_owned(),
+            Value::object([
+                ("before", before.to_json()),
+                ("after", after.to_json()),
+                ("counter_deltas", Value::Obj(deltas)),
             ]),
         ));
     }

@@ -15,6 +15,7 @@
 use vqd_budget::{Budget, VqdError};
 use vqd_eval::{apply_views, freeze};
 use vqd_instance::{IndexedInstance, Instance, NullGen, Value};
+use vqd_obs::Metric;
 use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
 
 /// A view set validated to consist of plain CQs — the hypothesis of every
@@ -158,6 +159,10 @@ pub fn v_inverse_indexed(
     for (i, _) in views.as_view_set().views().iter().enumerate() {
         let rel = views.as_view_set().output_rel(i);
         let view_cq = views.cq(i);
+        // One chase round per view relation of the extent; the span's
+        // guard records the round even when the budget trips inside it.
+        vqd_obs::count(Metric::ChaseRounds, 1);
+        let mut round = vqd_obs::span_at("chase.round", budget.work_done().steps);
         for tuple in s_prime.rel(rel).iter() {
             if s.rel(rel).contains(tuple) {
                 continue;
@@ -167,8 +172,11 @@ pub fn v_inverse_indexed(
                 out.instance().total_tuples()
             ))?;
             let before = out.instance().total_tuples();
+            let nulls_before = nulls.peek();
             chase_tuple(view_cq, tuple, &mut out, nulls);
             chased += 1;
+            vqd_obs::count(Metric::ChaseTriggersFired, 1);
+            vqd_obs::count(Metric::ChaseNullsCreated, u64::from(nulls.peek() - nulls_before));
             budget.charge_tuples(
                 (out.instance().total_tuples() - before) as u64,
                 &format_args!(
@@ -177,6 +185,7 @@ pub fn v_inverse_indexed(
                 ),
             )?;
         }
+        round.finish_steps(budget.work_done().steps);
     }
     Ok(out)
 }

@@ -61,7 +61,9 @@ pub fn certain_sound_budgeted(
             "filtering certain answers: {} kept so far",
             out.len()
         ))?;
+        vqd_obs::count(vqd_obs::Metric::CertainTuplesChecked, 1);
         if t.iter().all(|v| v.is_named()) {
+            vqd_obs::count(vqd_obs::Metric::CertainAnswersKept, 1);
             out.insert(t.clone());
         }
     }

@@ -11,6 +11,7 @@ use crate::stratify::{stratify, NotStratifiable, Stratification};
 use vqd_budget::{Budget, Exhausted, VqdError};
 use vqd_eval::{for_each_hom, Assignment, Ordering};
 use vqd_instance::{IndexMaintenance, IndexedInstance, Instance, Value};
+use vqd_obs::Metric;
 use vqd_query::{Atom, Term};
 
 /// Matches one atom against a concrete tuple, producing the induced
@@ -93,6 +94,8 @@ fn saturate_naive(
 ) -> Result<(), Exhausted> {
     let mut round = 0usize;
     loop {
+        vqd_obs::count(Metric::FixpointRounds, 1);
+        let mut span = vqd_obs::span_at("fixpoint.round", budget.work_done().steps);
         db.refresh();
         let mut new_facts: Vec<(vqd_instance::RelId, Vec<Value>)> = Vec::new();
         {
@@ -113,6 +116,9 @@ fn saturate_naive(
         for (rel, fact) in new_facts {
             if db.insert(rel, fact) {
                 changed = true;
+                // Counted per effective insert (not batched per round) so
+                // the total stays exact when the budget trips mid-round.
+                vqd_obs::count(Metric::FixpointDeltaTuples, 1);
                 budget.charge_tuples(
                     1,
                     &format_args!(
@@ -122,6 +128,7 @@ fn saturate_naive(
                 )?;
             }
         }
+        span.finish_steps(budget.work_done().steps);
         if !changed {
             return Ok(());
         }
@@ -141,6 +148,8 @@ fn saturate_semi_naive(
     let mut delta = Instance::empty(db.instance().schema());
     db.refresh();
     {
+        vqd_obs::count(Metric::FixpointRounds, 1);
+        let mut span = vqd_obs::span_at("fixpoint.round", budget.work_done().steps);
         let index: &IndexedInstance = db;
         for rule in rules {
             budget.checkpoint_with(&format_args!(
@@ -154,9 +163,13 @@ fn saturate_semi_naive(
             };
             fire_rule(rule, index, &Assignment::new(), None, &mut emit);
         }
+        span.finish_steps(budget.work_done().steps);
     }
     let mut round = 1usize;
     while !delta.is_empty() {
+        vqd_obs::count(Metric::FixpointRounds, 1);
+        vqd_obs::count(Metric::FixpointDeltaTuples, delta.total_tuples() as u64);
+        let mut span = vqd_obs::span_at("fixpoint.round", budget.work_done().steps);
         budget.charge_tuples(
             delta.total_tuples() as u64,
             &format_args!(
@@ -194,6 +207,7 @@ fn saturate_semi_naive(
                 }
             }
         }
+        span.finish_steps(budget.work_done().steps);
         delta = next_delta;
         round += 1;
     }

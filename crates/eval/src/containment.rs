@@ -163,6 +163,7 @@ pub fn contained_bounded_budgeted(
         )) {
             return BoundedContainment::Exhausted(Box::new(e));
         }
+        vqd_obs::count(vqd_obs::Metric::ContainmentInstancesChecked, 1);
         // One index serves both sides of the subset test.
         let idx = IndexedInstance::new(d);
         if !eval_cq_with_index(q1, &idx).is_subset(&eval_cq_with_index(q2, &idx)) {

@@ -23,7 +23,8 @@
 //! through instead of rebuilding per call.
 
 use std::collections::BTreeMap;
-use vqd_instance::{IndexedInstance, Instance, Tuple, Value};
+use vqd_instance::{IndexedInstance, Instance, Value};
+use vqd_obs::Metric;
 use vqd_query::{Atom, Term, VarId};
 
 /// Atom-selection strategy for the backtracking search.
@@ -73,14 +74,19 @@ fn candidate_ids(index: &IndexedInstance, atom: &Atom, asg: &Assignment) -> Vec<
         }
     }
     match best {
-        Some(ids) => ids.to_vec(),
+        Some(ids) => {
+            // A posting list beat the full scan: the index pruned the
+            // candidate space for this extension.
+            vqd_obs::count(Metric::HomPruneHits, 1);
+            ids.to_vec()
+        }
         None => (0..best_len as u32).collect(),
     }
 }
 
 /// Tries to extend `asg` so it matches `atom` against `tuple`; returns the
 /// variables newly bound (for backtracking) or `None` on clash.
-fn try_match(atom: &Atom, tuple: &Tuple, asg: &mut Assignment) -> Option<Vec<VarId>> {
+fn try_match(atom: &Atom, tuple: &[Value], asg: &mut Assignment) -> Option<Vec<VarId>> {
     let mut bound = Vec::new();
     for (term, &val) in atom.args.iter().zip(tuple.iter()) {
         match term {
@@ -161,6 +167,7 @@ fn search(
     // index's hash maps is held across the recursive call.
     let cands = candidate_ids(index, &atoms[i], asg);
     for id in cands {
+        vqd_obs::count(Metric::HomCandidatesTried, 1);
         let tuple = index.tuple(atoms[i].rel, id);
         if let Some(bound) = try_match(&atoms[i], tuple, asg) {
             if !search(atoms, index, used, asg, ordering, f) {
@@ -169,8 +176,12 @@ fn search(
                 return false;
             }
             unbind(asg, &bound);
+        } else {
+            vqd_obs::count(Metric::HomBacktracks, 1);
         }
     }
+    // This atom's candidates are exhausted: backtrack to the caller.
+    vqd_obs::count(Metric::HomBacktracks, 1);
     used[i] = false;
     true
 }

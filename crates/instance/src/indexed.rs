@@ -24,14 +24,15 @@
 //!
 //! [`refresh`]: IndexedInstance::refresh
 
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crate::instance::Instance;
 use crate::relation::Tuple;
 use crate::schema::{RelId, Schema};
+use crate::small::SmallTuple;
 use crate::value::Value;
+use vqd_obs::Metric;
 
 /// Index maintenance policy — an ablation knob for the fixpoint engines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -59,29 +60,27 @@ pub struct IndexStats {
     pub delta_tuples: u64,
 }
 
-thread_local! {
-    static STATS: Cell<IndexStats> = const { Cell::new(IndexStats { builds: 0, delta_tuples: 0 }) };
-}
-
 /// Returns the current thread's cumulative index-maintenance counters.
+///
+/// Compatibility wrapper over the [`vqd_obs`] engine counters
+/// ([`Metric::IndexBuilds`] / [`Metric::IndexDeltaTuples`]), where the
+/// counts now live alongside every other engine metric; pre-obs call
+/// sites (the server's wire `index_builds`/`index_tuples` fields, the
+/// fixpoint bench, the governance sweeps) keep diffing these snapshots
+/// unchanged.
 pub fn index_stats() -> IndexStats {
-    STATS.with(Cell::get)
+    IndexStats {
+        builds: vqd_obs::metric_value(Metric::IndexBuilds),
+        delta_tuples: vqd_obs::metric_value(Metric::IndexDeltaTuples),
+    }
 }
 
 fn note_build() {
-    STATS.with(|s| {
-        let mut v = s.get();
-        v.builds += 1;
-        s.set(v);
-    });
+    vqd_obs::count(Metric::IndexBuilds, 1);
 }
 
 fn note_delta(n: u64) {
-    STATS.with(|s| {
-        let mut v = s.get();
-        v.delta_tuples += n;
-        s.set(v);
-    });
+    vqd_obs::count(Metric::IndexDeltaTuples, n);
 }
 
 /// An [`Instance`] together with a maintained search accelerator: per
@@ -95,8 +94,9 @@ fn note_delta(n: u64) {
 #[derive(Clone, Debug)]
 pub struct IndexedInstance {
     instance: Instance,
-    /// `arena[rel]` — owned copies of the relation's tuples, in index order.
-    arena: Vec<Vec<Tuple>>,
+    /// `arena[rel]` — owned copies of the relation's tuples, in index
+    /// order; arity ≤ [`crate::small::INLINE_ARITY`] stored inline.
+    arena: Vec<Vec<SmallTuple>>,
     /// `by_col[rel][col][value]` — arena ids of tuples with `value` at `col`.
     by_col: Vec<Vec<HashMap<Value, Vec<u32>>>>,
     generation: u64,
@@ -167,7 +167,7 @@ impl IndexedInstance {
                 for (c, &v) in t.iter().enumerate() {
                     cols[c].entry(v).or_default().push(id);
                 }
-                tuples.push(t.clone());
+                tuples.push(SmallTuple::from_slice(t));
             }
             self.arena.push(tuples);
             self.by_col.push(cols);
@@ -193,7 +193,7 @@ impl IndexedInstance {
         for (c, &v) in tuple.iter().enumerate() {
             self.by_col[r][c].entry(v).or_default().push(id);
         }
-        self.arena[r].push(tuple);
+        self.arena[r].push(SmallTuple::from_vec(tuple));
         note_delta(1);
     }
 
@@ -237,7 +237,7 @@ impl IndexedInstance {
     }
 
     /// All tuples of `rel`, in index (arena) order.
-    pub fn scan(&self, rel: RelId) -> &[Tuple] {
+    pub fn scan(&self, rel: RelId) -> &[SmallTuple] {
         debug_assert!(!self.dirty, "IndexedInstance read while dirty; call refresh()");
         &self.arena[rel.idx()]
     }
@@ -249,7 +249,7 @@ impl IndexedInstance {
     }
 
     /// Resolves an arena id from [`probe`](Self::probe) to its tuple.
-    pub fn tuple(&self, rel: RelId, id: u32) -> &Tuple {
+    pub fn tuple(&self, rel: RelId, id: u32) -> &SmallTuple {
         &self.arena[rel.idx()][id as usize]
     }
 
@@ -263,14 +263,14 @@ impl IndexedInstance {
         let mut out = String::new();
         for (rel, decl) in self.instance.schema().iter() {
             let r = rel.idx();
-            let mut tuples: Vec<&Tuple> = self.arena[r].iter().collect();
+            let mut tuples: Vec<&SmallTuple> = self.arena[r].iter().collect();
             tuples.sort();
             let _ = writeln!(out, "rel {} arity {} arena {:?}", decl.name, decl.arity, tuples);
             for (c, col) in self.by_col[r].iter().enumerate() {
-                let mut entries: Vec<(Value, Vec<&Tuple>)> = col
+                let mut entries: Vec<(Value, Vec<&SmallTuple>)> = col
                     .iter()
                     .map(|(v, ids)| {
-                        let mut ts: Vec<&Tuple> =
+                        let mut ts: Vec<&SmallTuple> =
                             ids.iter().map(|&id| &self.arena[r][id as usize]).collect();
                         ts.sort();
                         (*v, ts)

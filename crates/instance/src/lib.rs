@@ -17,6 +17,8 @@
 //!   domains, extensions, restrictions, value maps;
 //! * [`indexed`] — an owned, incrementally maintained per-relation /
 //!   per-column index over an instance, shared by every engine's hot loop;
+//! * [`small`] — inline small-tuple storage for the index arena (arity ≤ 3
+//!   without heap allocation, spill above);
 //! * [`iso`] — isomorphism, automorphism and canonical-form machinery used
 //!   by genericity checks (Proposition 4.3) and the semantic determinacy
 //!   checker;
@@ -32,10 +34,12 @@ pub mod instance;
 pub mod iso;
 pub mod relation;
 pub mod schema;
+pub mod small;
 pub mod value;
 
 pub use indexed::{index_stats, IndexMaintenance, IndexStats, IndexedInstance};
 pub use instance::Instance;
 pub use relation::{Relation, Tuple};
+pub use small::{SmallTuple, INLINE_ARITY};
 pub use schema::{RelDecl, RelId, Schema};
 pub use value::{named, null, DomainNames, NullGen, Value};

@@ -1,0 +1,36 @@
+//! # vqd-obs — the observability spine
+//!
+//! Structured visibility into *why* a determinacy/rewriting request cost
+//! what it did. Three layers, all std-only:
+//!
+//! * [`metric`] — a closed set of always-on engine counters
+//!   ([`Metric`]) in per-thread cells; per-request execution profiles
+//!   are [`MetricsSnapshot`] diffs taken on the serving thread;
+//! * [`registry`] — a process-wide named [`Registry`] of counters,
+//!   gauges and fixed-bucket [`Histogram`]s with lock-free handles and
+//!   `Eq`-comparable, JSON-round-trippable [`RegistrySnapshot`]s (the
+//!   `stats` wire op payload);
+//! * [`trace`] — hierarchical [`Span`] guards recording wall-clock and
+//!   budget-step deltas into bounded per-thread rings with JSONL export,
+//!   behind one `AtomicBool` with a strict no-op path when disabled
+//!   (witnessed by [`Metric::SpanEventsRecorded`] staying zero).
+//!
+//! The crate deliberately depends on nothing but the serde shim: engines
+//! hand in budget-step samples as plain `u64`s, so `vqd-budget` and
+//! every engine crate can layer on top without cycles.
+
+#![warn(missing_docs)]
+
+pub mod metric;
+pub mod registry;
+pub mod trace;
+
+pub use metric::{count, local_snapshot, metric_value, Metric, MetricsSnapshot, METRIC_COUNT};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BOUNDS_MS,
+    SIZE_BOUNDS,
+};
+pub use trace::{
+    current_depth, drain_spans, dropped_spans, set_tracing, span, span_at, spans_to_jsonl,
+    tracing_enabled, Span, SpanEvent, RING_CAPACITY,
+};

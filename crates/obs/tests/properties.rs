@@ -1,0 +1,80 @@
+//! Property tests for the observability layer: snapshots are exact sums
+//! of the events recorded into them, for both the thread-local engine
+//! counters and the named registry.
+
+use proptest::prelude::*;
+use vqd_obs::{local_snapshot, Metric, MetricsSnapshot, Registry, METRIC_COUNT};
+
+/// One recorded event: (counter index, amount).
+fn arb_event() -> impl Strategy<Value = (usize, u64)> {
+    (0..METRIC_COUNT, 0u64..1000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A thread-local snapshot taken after N `count` events differs from
+    /// the snapshot taken before by exactly the per-metric sum of the
+    /// events — no event lost, none double-counted, untouched counters
+    /// exactly zero in the diff.
+    #[test]
+    fn snapshot_diff_equals_sum_of_events(
+        events in proptest::collection::vec(arb_event(), 0..64),
+    ) {
+        let before = local_snapshot();
+        let mut expected = MetricsSnapshot::default();
+        for &(i, n) in &events {
+            let m = Metric::ALL[i];
+            vqd_obs::count(m, n);
+            expected.set(m, expected.get(m).wrapping_add(n));
+        }
+        let delta = local_snapshot().diff(&before);
+        prop_assert_eq!(delta, expected);
+    }
+
+    /// A registry snapshot after N counter/gauge/histogram events equals
+    /// the sum (counters, histogram count/sum) or last-write (gauges) of
+    /// the events, and the snapshot JSON round-trips losslessly.
+    #[test]
+    fn registry_snapshot_equals_event_sum(
+        counter_events in proptest::collection::vec((0..3usize, 0u64..1000), 0..32),
+        gauge_writes in proptest::collection::vec(0u64..1000, 0..8),
+        observations in proptest::collection::vec(0u64..200, 0..32),
+    ) {
+        let reg = Registry::new();
+        let names = ["a", "b", "c"];
+        let mut sums = [0u64; 3];
+        for &(i, n) in &counter_events {
+            reg.counter(names[i]).add(n);
+            sums[i] += n;
+        }
+        for &v in &gauge_writes {
+            reg.gauge("g").set(v);
+        }
+        let h = reg.histogram("h", &[10, 100]);
+        for &v in &observations {
+            h.observe(v);
+        }
+
+        let snap = reg.snapshot();
+        for (i, name) in names.iter().enumerate() {
+            let expect = if counter_events.iter().any(|&(j, _)| j == i) || sums[i] > 0 {
+                sums[i]
+            } else {
+                // never registered ⇒ absent ⇒ reads zero
+                0
+            };
+            prop_assert_eq!(snap.counter(name), expect);
+        }
+        if let Some(&last) = gauge_writes.last() {
+            prop_assert_eq!(snap.gauge("g"), last);
+        }
+        let hs = snap.histogram("h").unwrap();
+        prop_assert_eq!(hs.count, observations.len() as u64);
+        prop_assert_eq!(hs.sum, observations.iter().sum::<u64>());
+        prop_assert_eq!(hs.buckets.iter().sum::<u64>(), hs.count);
+
+        let back = vqd_obs::RegistrySnapshot::from_json(&snap.to_json()).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+}

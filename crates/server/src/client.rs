@@ -58,7 +58,19 @@ impl Client {
     /// reply. `Err` is a transport failure; protocol-level failures come
     /// back inside the [`Response`].
     pub fn call(&mut self, limits: Limits, request: Request) -> io::Result<Response> {
-        let envelope = Envelope::new(self.fresh_id(), limits, request);
+        let id = self.fresh_id();
+        self.send(Envelope::new(id, limits, request))
+    }
+
+    /// Like [`Client::call`], but asks the server to attach a
+    /// per-request execution profile (engine counter deltas) to the
+    /// reply's `profile` field.
+    pub fn call_profiled(&mut self, limits: Limits, request: Request) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.send(Envelope::new(id, limits, request).with_profile(true))
+    }
+
+    fn send(&mut self, envelope: Envelope) -> io::Result<Response> {
         writeln!(self.writer, "{}", envelope.to_json())?;
         self.writer.flush()?;
         self.read_response()
@@ -77,10 +89,16 @@ impl Client {
         Ok(self.call(Limits::none(), Request::Ping)?.outcome == Outcome::Pong)
     }
 
-    /// Fetches the server's metrics snapshot.
+    /// Fetches the server's flat metrics snapshot.
     pub fn stats(&mut self) -> io::Result<WireMetrics> {
+        self.stats_full().map(|(m, _)| m)
+    }
+
+    /// Fetches the server's metrics snapshot together with the full
+    /// registry (per-op counters, gauges, latency histograms).
+    pub fn stats_full(&mut self) -> io::Result<(WireMetrics, vqd_obs::RegistrySnapshot)> {
         match self.call(Limits::none(), Request::Stats)?.outcome {
-            Outcome::StatsSnapshot(m) => Ok(m),
+            Outcome::StatsSnapshot { metrics, registry } => Ok((metrics, registry)),
             Outcome::Error { kind, message } => Err(io::Error::other(format!(
                 "stats failed [{}]: {message}",
                 kind.as_str()

@@ -17,7 +17,9 @@
 use crate::metrics::Metrics;
 use crate::proto::{ErrorKind, Outcome, Request, WireCounterexample};
 use std::sync::Arc;
+use std::time::Instant;
 use vqd_budget::{Budget, CancelToken, VqdError};
+use vqd_obs::Registry;
 use vqd_chase::CqViews;
 use vqd_core::certain::certain_sound_budgeted;
 use vqd_core::determinacy::{
@@ -35,8 +37,26 @@ use vqd_query::{parse_instance, parse_program, parse_query, Cq, CqLang, QueryExp
 pub struct EngineCtx {
     /// Service counters.
     pub metrics: Arc<Metrics>,
+    /// Server-wide observability registry: per-op request counters,
+    /// latency histograms, and folded engine counters.
+    pub registry: Arc<Registry>,
+    /// When the server started (drives the uptime gauge).
+    pub started: Instant,
     /// Tripping this token starts a server drain.
     pub shutdown: CancelToken,
+}
+
+impl EngineCtx {
+    /// A fresh context with its own metrics/registry (used by tests and
+    /// embedded setups; [`crate::server::spawn`] builds the real one).
+    pub fn new(shutdown: CancelToken) -> EngineCtx {
+        EngineCtx {
+            metrics: Arc::new(Metrics::new()),
+            registry: Arc::new(Registry::new()),
+            started: Instant::now(),
+            shutdown,
+        }
+    }
 }
 
 /// Shorthand for building an error outcome.
@@ -119,7 +139,22 @@ fn render_counterexample(c: &Counterexample, names: &DomainNames) -> WireCounter
 pub fn execute(request: &Request, budget: &Budget, ctx: &EngineCtx) -> Outcome {
     match request {
         Request::Ping => Outcome::Pong,
-        Request::Stats => Outcome::StatsSnapshot(ctx.metrics.snapshot()),
+        Request::Stats => {
+            let metrics = ctx.metrics.snapshot();
+            // Refresh the point-in-time gauges so the registry snapshot
+            // is self-contained.
+            ctx.registry
+                .gauge("server.uptime_ms")
+                .set(ctx.started.elapsed().as_millis() as u64);
+            ctx.registry.gauge("server.queue_depth").set(metrics.queue_depth);
+            ctx.registry
+                .gauge("server.queue_depth_hwm")
+                .raise_to(metrics.max_queue_depth);
+            ctx.registry
+                .gauge("server.connections_open")
+                .set(metrics.connections_open);
+            Outcome::StatsSnapshot { metrics, registry: ctx.registry.snapshot() }
+        }
         Request::Shutdown => {
             ctx.shutdown.cancel();
             Outcome::ShuttingDown
@@ -349,7 +384,7 @@ mod tests {
     use super::*;
 
     fn ctx() -> EngineCtx {
-        EngineCtx { metrics: Arc::new(Metrics::new()), shutdown: CancelToken::new() }
+        EngineCtx::new(CancelToken::new())
     }
 
     fn decide_req(views: &str, query: &str) -> Request {

@@ -29,6 +29,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use vqd_budget::Budget;
+use vqd_obs::{Metric, MetricsSnapshot};
 
 /// One admitted request: the envelope, its clamped budget, and where to
 /// send the reply. The reply channel is unbounded but carries exactly
@@ -187,9 +188,12 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, ctx: &EngineCtx) {
 /// Executes one job and sends exactly one reply.
 fn run_job(job: Job, ctx: &EngineCtx) {
     let Job { envelope, budget, reply } = job;
-    // Workers serve one job at a time, so diffing the thread-local index
-    // counters around `execute` attributes index work to this request.
-    let idx_before = vqd_instance::index_stats();
+    let op = envelope.request.op();
+    // Workers serve one job at a time, so diffing the thread-local engine
+    // counters around `execute` attributes exactly this request's work —
+    // a snapshot *delta*, never the absolute (still-growing) totals.
+    let before = MetricsSnapshot::capture();
+    let started = std::time::Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         engine::execute(&envelope.request, &budget, ctx)
     }))
@@ -201,17 +205,50 @@ fn run_job(job: Job, ctx: &EngineCtx) {
             .unwrap_or_else(|| "engine panicked".to_owned());
         Outcome::Error { kind: ErrorKind::Internal, message: msg }
     });
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    let profile = MetricsSnapshot::capture().diff(&before);
     match &outcome {
         Outcome::Error { .. } => ctx.metrics.errors.fetch_add(1, Ordering::Relaxed),
         Outcome::Exhausted { .. } => ctx.metrics.exhausted.fetch_add(1, Ordering::Relaxed),
         _ => ctx.metrics.completed_ok.fetch_add(1, Ordering::Relaxed),
     };
-    let idx_after = vqd_instance::index_stats();
+    record_request(ctx, op, &outcome, elapsed_ms, &profile);
     let mut work = WireStats::from(budget.work_done());
-    work.index_builds = idx_after.builds.wrapping_sub(idx_before.builds);
-    work.index_tuples = idx_after.delta_tuples.wrapping_sub(idx_before.delta_tuples);
+    work.index_builds = profile.get(Metric::IndexBuilds);
+    work.index_tuples = profile.get(Metric::IndexDeltaTuples);
+    let mut response = Response::new(envelope.id.clone(), outcome, work);
+    if envelope.profile {
+        response = response.with_profile(profile);
+    }
     // The connection may have hung up; a dead reply channel is fine.
-    let _ = reply.send(Response::new(envelope.id.clone(), outcome, work));
+    let _ = reply.send(response);
+}
+
+/// Folds one finished request into the server-wide registry: per-op
+/// request/error/exhausted counters, a latency histogram, and the
+/// request's engine-counter deltas under `engine.*`.
+fn record_request(
+    ctx: &EngineCtx,
+    op: &str,
+    outcome: &Outcome,
+    elapsed_ms: u64,
+    profile: &MetricsSnapshot,
+) {
+    let reg = &ctx.registry;
+    reg.counter(&format!("op.{op}.requests")).inc();
+    match outcome {
+        Outcome::Error { .. } => reg.counter(&format!("op.{op}.errors")).inc(),
+        Outcome::Exhausted { .. } => reg.counter(&format!("op.{op}.exhausted")).inc(),
+        _ => {}
+    }
+    reg.histogram(&format!("op.{op}.latency_ms"), &vqd_obs::LATENCY_BOUNDS_MS)
+        .observe(elapsed_ms);
+    for m in Metric::ALL {
+        let d = profile.get(m);
+        if d != 0 {
+            reg.counter(&format!("engine.{}", m.name())).add(d);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -222,7 +259,7 @@ mod tests {
     use vqd_budget::CancelToken;
 
     fn ctx() -> EngineCtx {
-        EngineCtx { metrics: Arc::new(Metrics::new()), shutdown: CancelToken::new() }
+        EngineCtx::new(CancelToken::new())
     }
 
     fn ping_job(reply: std::sync::mpsc::Sender<Response>) -> Job {
@@ -321,5 +358,40 @@ mod tests {
         run_job(job, &ctx);
         assert_eq!(rx.recv().expect("reply").outcome, Outcome::Pong);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn profiles_are_per_request_deltas_not_cumulative_totals() {
+        let ctx = ctx();
+        let (tx, rx) = channel();
+        let job = || Job {
+            envelope: Envelope::new(
+                "a",
+                Limits::none(),
+                Request::Certain {
+                    schema: "E/2".into(),
+                    views: "V(x,y) :- E(x,y).".into(),
+                    query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+                    extent: "V(A,B). V(B,C).".into(),
+                },
+            )
+            .with_profile(true),
+            budget: Budget::unlimited(),
+            reply: tx.clone(),
+        };
+        // Both jobs run on this thread, so the thread-local engine
+        // counters keep growing across them; a leaky diff would make the
+        // second profile include the first request's work.
+        run_job(job(), &ctx);
+        run_job(job(), &ctx);
+        let first = rx.recv().expect("reply").profile.expect("profile requested");
+        let second = rx.recv().expect("reply").profile.expect("profile requested");
+        assert!(!first.is_zero(), "chase work must show up in the profile");
+        assert!(first.get(Metric::ChaseRounds) > 0);
+        assert_eq!(first, second, "identical requests must report identical deltas");
+        let reg = ctx.registry.snapshot();
+        assert_eq!(reg.counter("op.certain_sound.requests"), 2);
+        let h = reg.histogram("op.certain_sound.latency_ms").expect("latency recorded");
+        assert_eq!(h.count, 2);
     }
 }

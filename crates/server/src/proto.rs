@@ -23,6 +23,7 @@
 
 use serde::json::{self, Value};
 use vqd_budget::WorkStats;
+use vqd_obs::{MetricsSnapshot, RegistrySnapshot};
 
 /// Version tag carried in every envelope and response. Servers reject
 /// other versions with [`ErrorKind::Version`] rather than guessing.
@@ -171,6 +172,10 @@ pub struct Envelope {
     pub id: String,
     /// Requested resource limits.
     pub limits: Limits,
+    /// Ask the server to attach a per-request execution profile (engine
+    /// counter deltas) to the reply. Additive: absent on the wire means
+    /// `false`, so v1 peers interoperate unchanged.
+    pub profile: bool,
     /// The operation.
     pub request: Request,
 }
@@ -178,7 +183,13 @@ pub struct Envelope {
 impl Envelope {
     /// Wraps a request in a current-version envelope.
     pub fn new(id: impl Into<String>, limits: Limits, request: Request) -> Envelope {
-        Envelope { version: PROTOCOL_VERSION, id: id.into(), limits, request }
+        Envelope { version: PROTOCOL_VERSION, id: id.into(), limits, profile: false, request }
+    }
+
+    /// Requests a per-request execution profile in the reply.
+    pub fn with_profile(mut self, profile: bool) -> Envelope {
+        self.profile = profile;
+        self
     }
 }
 
@@ -357,7 +368,14 @@ pub enum Outcome {
         counterexample: Option<WireCounterexample>,
     },
     /// Metrics snapshot.
-    StatsSnapshot(WireMetrics),
+    StatsSnapshot {
+        /// Flat server counters (kept for v1 compatibility).
+        metrics: WireMetrics,
+        /// Full registry snapshot: per-op counters, gauges, and latency
+        /// histograms. Additive; old peers ignore it, old servers send an
+        /// empty one.
+        registry: RegistrySnapshot,
+    },
     /// The server acknowledged [`Request::Shutdown`] and is draining.
     ShuttingDown,
     /// A resource limit tripped before the procedure finished.
@@ -408,12 +426,21 @@ pub struct Response {
     pub outcome: Outcome,
     /// Budget accounting for the work performed server-side.
     pub work: WireStats,
+    /// Per-request execution profile: engine counter deltas attributable
+    /// to this request alone. Present only when the envelope asked for it.
+    pub profile: Option<MetricsSnapshot>,
 }
 
 impl Response {
     /// Builds a current-version response.
     pub fn new(id: impl Into<String>, outcome: Outcome, work: WireStats) -> Response {
-        Response { version: PROTOCOL_VERSION, id: id.into(), outcome, work }
+        Response { version: PROTOCOL_VERSION, id: id.into(), outcome, work, profile: None }
+    }
+
+    /// Attaches a per-request execution profile.
+    pub fn with_profile(mut self, profile: MetricsSnapshot) -> Response {
+        self.profile = Some(profile);
+        self
     }
 
     /// An `error` response with zero work.
@@ -491,6 +518,9 @@ impl Envelope {
         num_field(&mut obj, "deadline_ms", self.limits.deadline_ms);
         num_field(&mut obj, "step_limit", self.limits.step_limit);
         num_field(&mut obj, "tuple_limit", self.limits.tuple_limit);
+        if self.profile {
+            obj.push(("profile".to_owned(), Value::from(true)));
+        }
         obj.push(("request".to_owned(), Value::Obj(req)));
         Value::Obj(obj)
     }
@@ -518,6 +548,7 @@ impl Envelope {
             step_limit: v.get("step_limit").and_then(Value::as_u64),
             tuple_limit: v.get("tuple_limit").and_then(Value::as_u64),
         };
+        let profile = v.get("profile").and_then(Value::as_bool).unwrap_or(false);
         let Some(req) = v.get("request") else {
             return fail(ErrorKind::Protocol, "missing `request`");
         };
@@ -589,7 +620,7 @@ impl Envelope {
                 return fail(ErrorKind::Unsupported, &format!("unknown op `{other}`"));
             }
         };
-        Ok(Envelope { version, id, limits, request })
+        Ok(Envelope { version, id, limits, profile, request })
     }
 
     /// Parses an envelope from one wire line.
@@ -665,7 +696,7 @@ impl Response {
                 }
                 "semantic"
             }
-            Outcome::StatsSnapshot(m) => {
+            Outcome::StatsSnapshot { metrics: m, registry } => {
                 for (k, v) in [
                     ("accepted", m.accepted),
                     ("completed_ok", m.completed_ok),
@@ -680,6 +711,7 @@ impl Response {
                 ] {
                     result.push((k.to_owned(), Value::from(v)));
                 }
+                result.push(("registry".to_owned(), registry.to_json()));
                 "stats"
             }
             Outcome::ShuttingDown => "shutting-down",
@@ -700,12 +732,12 @@ impl Response {
             }
         };
         result.insert(0, ("kind".to_owned(), Value::from(kind)));
-        Value::object([
-            ("v", Value::from(self.version)),
-            ("id", Value::from(self.id.clone())),
-            ("status", Value::from(self.outcome.status())),
+        let mut obj: Vec<(String, Value)> = vec![
+            ("v".to_owned(), Value::from(self.version)),
+            ("id".to_owned(), Value::from(self.id.clone())),
+            ("status".to_owned(), Value::from(self.outcome.status())),
             (
-                "work",
+                "work".to_owned(),
                 Value::object([
                     ("steps", Value::from(self.work.steps)),
                     ("tuples", Value::from(self.work.tuples)),
@@ -714,8 +746,12 @@ impl Response {
                     ("index_tuples", Value::from(self.work.index_tuples)),
                 ]),
             ),
-            ("result", Value::Obj(result)),
-        ])
+        ];
+        if let Some(p) = &self.profile {
+            obj.push(("profile".to_owned(), p.to_json()));
+        }
+        obj.push(("result".to_owned(), Value::Obj(result)));
+        Value::Obj(obj)
     }
 
     /// Decodes a response from parsed JSON.
@@ -780,18 +816,24 @@ impl Response {
             },
             "stats" => {
                 let g = |k: &str| r.get(k).and_then(Value::as_u64).unwrap_or(0);
-                Outcome::StatsSnapshot(WireMetrics {
-                    accepted: g("accepted"),
-                    completed_ok: g("completed_ok"),
-                    exhausted: g("exhausted"),
-                    rejected: g("rejected"),
-                    errors: g("errors"),
-                    queue_depth: g("queue_depth"),
-                    max_queue_depth: g("max_queue_depth"),
-                    connections_open: g("connections_open"),
-                    connections_total: g("connections_total"),
-                    workers: g("workers"),
-                })
+                Outcome::StatsSnapshot {
+                    metrics: WireMetrics {
+                        accepted: g("accepted"),
+                        completed_ok: g("completed_ok"),
+                        exhausted: g("exhausted"),
+                        rejected: g("rejected"),
+                        errors: g("errors"),
+                        queue_depth: g("queue_depth"),
+                        max_queue_depth: g("max_queue_depth"),
+                        connections_open: g("connections_open"),
+                        connections_total: g("connections_total"),
+                        workers: g("workers"),
+                    },
+                    registry: r
+                        .get("registry")
+                        .and_then(RegistrySnapshot::from_json)
+                        .unwrap_or_default(),
+                }
             }
             "shutting-down" => Outcome::ShuttingDown,
             "exhausted" => Outcome::Exhausted {
@@ -812,7 +854,8 @@ impl Response {
             },
             other => return Err(format!("unknown result kind `{other}`")),
         };
-        Ok(Response { version, id, outcome, work })
+        let profile = v.get("profile").and_then(MetricsSnapshot::from_json);
+        Ok(Response { version, id, outcome, work, profile })
     }
 
     /// Parses a response from one wire line.
@@ -879,21 +922,53 @@ impl std::fmt::Display for Outcome {
                 }
                 Ok(())
             }
-            Outcome::StatsSnapshot(m) => write!(
-                f,
-                "accepted {} | ok {} | exhausted {} | rejected {} | errors {} | \
-                 queue {} (max {}) | conns {} open / {} total | {} workers",
-                m.accepted,
-                m.completed_ok,
-                m.exhausted,
-                m.rejected,
-                m.errors,
-                m.queue_depth,
-                m.max_queue_depth,
-                m.connections_open,
-                m.connections_total,
-                m.workers
-            ),
+            Outcome::StatsSnapshot { metrics: m, registry } => {
+                write!(
+                    f,
+                    "accepted {} | ok {} | exhausted {} | rejected {} | errors {} | \
+                     queue {} (max {}) | conns {} open / {} total | {} workers",
+                    m.accepted,
+                    m.completed_ok,
+                    m.exhausted,
+                    m.rejected,
+                    m.errors,
+                    m.queue_depth,
+                    m.max_queue_depth,
+                    m.connections_open,
+                    m.connections_total,
+                    m.workers
+                )?;
+                let uptime = registry.gauge("server.uptime_ms");
+                if uptime > 0 {
+                    write!(f, "\nuptime: {:.1}s", uptime as f64 / 1000.0)?;
+                }
+                // One line per op that has served traffic, with latency
+                // quantiles read off the histogram bucket bounds.
+                for (name, h) in &registry.histograms {
+                    let Some(op) = name
+                        .strip_prefix("op.")
+                        .and_then(|s| s.strip_suffix(".latency_ms"))
+                    else {
+                        continue;
+                    };
+                    if h.count == 0 {
+                        continue;
+                    }
+                    let q = |q: f64| match h.quantile(q) {
+                        u64::MAX => ">5000".to_owned(),
+                        v => format!("≤{v}"),
+                    };
+                    write!(
+                        f,
+                        "\n{op}: {} requests, latency_ms p50 {} p95 {} p99 {}",
+                        h.count,
+                        q(0.5),
+                        q(0.95),
+                        q(0.99)
+                    )?;
+                }
+                Ok(())
+            }
             Outcome::ShuttingDown => write!(f, "server is draining and shutting down"),
             Outcome::Exhausted { reason, partial } => {
                 write!(f, "exhausted ({reason}): {partial}")
@@ -955,6 +1030,13 @@ mod tests {
         ));
         round_trip_envelope(Envelope::new("s", Limits::none(), Request::Stats));
         round_trip_envelope(Envelope::new("x", Limits::none(), Request::Shutdown));
+        round_trip_envelope(Envelope::new("p", Limits::none(), Request::Ping).with_profile(true));
+    }
+
+    #[test]
+    fn absent_profile_flag_decodes_as_false() {
+        let e = Envelope::from_line(r#"{"v":1,"id":"x","request":{"op":"ping"}}"#).unwrap();
+        assert!(!e.profile);
     }
 
     fn round_trip_response(r: Response) {
@@ -1006,22 +1088,39 @@ mod tests {
             work,
         ));
         round_trip_response(Response::error("6", ErrorKind::Parse, "bad query"));
+        let registry_sample = {
+            let reg = vqd_obs::Registry::new();
+            reg.counter("op.ping.requests").add(3);
+            reg.gauge("server.uptime_ms").set(1234);
+            reg.histogram("op.ping.latency_ms", &vqd_obs::LATENCY_BOUNDS_MS)
+                .observe(7);
+            reg.snapshot()
+        };
         round_trip_response(Response::new(
             "7",
-            Outcome::StatsSnapshot(WireMetrics {
-                accepted: 10,
-                completed_ok: 8,
-                exhausted: 1,
-                rejected: 1,
-                errors: 0,
-                queue_depth: 0,
-                max_queue_depth: 4,
-                connections_open: 2,
-                connections_total: 5,
-                workers: 4,
-            }),
+            Outcome::StatsSnapshot {
+                metrics: WireMetrics {
+                    accepted: 10,
+                    completed_ok: 8,
+                    exhausted: 1,
+                    rejected: 1,
+                    errors: 0,
+                    queue_depth: 0,
+                    max_queue_depth: 4,
+                    connections_open: 2,
+                    connections_total: 5,
+                    workers: 4,
+                },
+                registry: registry_sample,
+            },
             WireStats::default(),
         ));
+        let mut profiled = MetricsSnapshot::default();
+        profiled.set(vqd_obs::Metric::ChaseRounds, 4);
+        profiled.set(vqd_obs::Metric::HomCandidatesTried, 19);
+        round_trip_response(
+            Response::new("8", Outcome::Pong, work).with_profile(profiled),
+        );
     }
 
     #[test]

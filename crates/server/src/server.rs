@@ -86,6 +86,7 @@ struct Shared {
     master: Budget,
     caps: ServerCaps,
     metrics: Arc<Metrics>,
+    registry: Arc<vqd_obs::Registry>,
 }
 
 impl Shared {
@@ -126,6 +127,12 @@ impl ServerHandle {
     /// Point-in-time metrics.
     pub fn metrics(&self) -> WireMetrics {
         self.shared.metrics.snapshot()
+    }
+
+    /// The server-wide observability registry (per-op counters, latency
+    /// histograms, folded engine counters).
+    pub fn registry(&self) -> Arc<vqd_obs::Registry> {
+        Arc::clone(&self.shared.registry)
     }
 
     /// The shutdown token (share it with supervisors/signal handlers).
@@ -190,12 +197,19 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let metrics = Arc::new(Metrics::new());
+    let registry = Arc::new(vqd_obs::Registry::new());
     let shared = Arc::new(Shared {
         master: Budget::unlimited(),
         caps: config.caps,
         metrics: Arc::clone(&metrics),
+        registry: Arc::clone(&registry),
     });
-    let ctx = EngineCtx { metrics: Arc::clone(&metrics), shutdown: shared.shutdown_token() };
+    let ctx = EngineCtx {
+        metrics: Arc::clone(&metrics),
+        registry,
+        started: std::time::Instant::now(),
+        shutdown: shared.shutdown_token(),
+    };
     let pool = Pool::new(config.workers, config.queue_depth, ctx);
     let queue = pool.queue_handle();
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -347,6 +361,7 @@ mod tests {
                 max_tuples: None,
             },
             metrics: Arc::new(Metrics::new()),
+            registry: Arc::new(vqd_obs::Registry::new()),
         };
         // Client asks for more than the cap: cap wins.
         let b = shared.clamp(&Limits {

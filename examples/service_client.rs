@@ -67,8 +67,11 @@ fn main() {
         other => println!("\n[scan] {other}"),
     }
 
-    // Observability, then a graceful drain.
-    println!("\n[stats] {}", Outcome::StatsSnapshot(client.stats().expect("stats")));
+    // Observability, then a graceful drain. `stats_full` also returns
+    // the server's metrics registry: per-op latency histograms, uptime,
+    // and lifetime engine counters.
+    let (metrics, registry) = client.stats_full().expect("stats");
+    println!("\n[stats] {}", Outcome::StatsSnapshot { metrics, registry });
     let m = handle.shutdown();
     println!("\ndrained: {} requests served, {} exhausted", m.accepted, m.exhausted);
 }

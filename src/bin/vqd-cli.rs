@@ -11,7 +11,10 @@
 //!
 //! vqd-cli request [--addr 127.0.0.1:7471] --op decide \
 //!                 --schema "E/2" --views "..." --query "..." \
-//!                 [--deadline-ms N] [--step-limit N] [--tuple-limit N]
+//!                 [--deadline-ms N] [--step-limit N] [--tuple-limit N] \
+//!                 [--profile]
+//!
+//! vqd-cli stats   [--addr 127.0.0.1:7471]
 //! ```
 //!
 //! Views and query may also be read from files (`@path`). Running with
@@ -19,7 +22,10 @@
 //! `serve` runs the [`vqd_server`] service until a wire `shutdown`
 //! request arrives; `request` issues one request against a running
 //! server and exits 0 on `ok`, 3 on `error`, 4 on `exhausted`, and 5 on
-//! `overloaded`.
+//! `overloaded`. `--profile` additionally prints the request's engine
+//! counter deltas (chase rounds, hom-search candidates, …); `stats`
+//! prints the server-wide registry: per-op request counts and latency
+//! histograms, queue high-water mark, uptime.
 
 use vqd::chase::CqViews;
 use vqd::core::analyze::{analyze, AnalyzeOptions, Determinacy};
@@ -28,7 +34,7 @@ use vqd::instance::{DomainNames, Schema};
 use vqd::query::{parse_program, parse_query, CqLang, QueryExpr, ViewSet};
 use vqd::server::{self, Client, Limits, Outcome, Request, ServerCaps, ServerConfig};
 
-const USAGE: &str = "usage: vqd-cli <analyze|serve|request> [flags] \
+const USAGE: &str = "usage: vqd-cli <analyze|serve|request|stats> [flags] \
                      (see `vqd-cli <subcommand> --help`)";
 
 fn die(msg: &str) -> ! {
@@ -47,6 +53,7 @@ fn main() {
         Some("analyze") => cmd_analyze(&argv[1..]),
         Some("serve") => cmd_serve(&argv[1..]),
         Some("request") => cmd_request(&argv[1..]),
+        Some("stats") => cmd_stats(&argv[1..]),
         // Original flag-only invocation: treat as `analyze`.
         Some(flag) if flag.starts_with("--") => cmd_analyze(&argv),
         Some(other) => die(&format!("unknown subcommand `{other}`")),
@@ -269,7 +276,7 @@ fn request_usage() -> ! {
          <ping|decide|rewrite|certain|containment|finite|semantic|stats|shutdown> \
          [--schema S] [--views V] [--query Q] [--extent E] [--q1 Q] [--q2 Q] \
          [--max-domain N] [--domain N] [--space-limit N] \
-         [--deadline-ms N] [--step-limit N] [--tuple-limit N]"
+         [--deadline-ms N] [--step-limit N] [--tuple-limit N] [--profile]"
     );
     std::process::exit(2)
 }
@@ -287,10 +294,12 @@ fn cmd_request(argv: &[String]) {
     let mut domain = 2u64;
     let mut space_limit = 1u64 << 22;
     let mut limits = Limits::none();
+    let mut profile = false;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--addr" => addr = value_of(&mut it, flag),
+            "--profile" => profile = true,
             "--op" => op = Some(value_of(&mut it, flag)),
             "--schema" => schema = load(&value_of(&mut it, flag)),
             "--views" => views = load(&value_of(&mut it, flag)),
@@ -334,7 +343,12 @@ fn cmd_request(argv: &[String]) {
         eprintln!("cannot connect to {addr}: {e}");
         std::process::exit(1)
     });
-    let response = client.call(limits, request).unwrap_or_else(|e| {
+    let response = if profile {
+        client.call_profiled(limits, request)
+    } else {
+        client.call(limits, request)
+    }
+    .unwrap_or_else(|e| {
         eprintln!("request failed: {e}");
         std::process::exit(1)
     });
@@ -343,6 +357,19 @@ fn cmd_request(argv: &[String]) {
         "[{} steps, {} tuples, {} ms server-side]",
         response.work.steps, response.work.tuples, response.work.elapsed_ms
     );
+    if let Some(p) = &response.profile {
+        println!("--- execution profile (engine counter deltas) ---");
+        let mut any = false;
+        for m in vqd::obs::Metric::ALL {
+            if p.get(m) != 0 {
+                println!("{:<32} {}", m.name(), p.get(m));
+                any = true;
+            }
+        }
+        if !any {
+            println!("(no engine counters moved)");
+        }
+    }
     let code = match &response.outcome {
         Outcome::Error { .. } => 3,
         Outcome::Exhausted { .. } => 4,
@@ -350,4 +377,52 @@ fn cmd_request(argv: &[String]) {
         _ => 0,
     };
     std::process::exit(code);
+}
+
+// ---------------------------------------------------------------------
+// `stats`
+// ---------------------------------------------------------------------
+
+fn cmd_stats(argv: &[String]) {
+    let mut addr = "127.0.0.1:7471".to_owned();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value_of(&mut it, flag),
+            "--help" | "-h" => {
+                eprintln!("usage: vqd-cli stats [--addr HOST:PORT]");
+                std::process::exit(2)
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1)
+    });
+    let response = client.call(Limits::none(), Request::Stats).unwrap_or_else(|e| {
+        eprintln!("stats failed: {e}");
+        std::process::exit(1)
+    });
+    // The Display impl renders the flat counters, uptime, and one
+    // latency line per op that has served traffic.
+    println!("{}", response.outcome);
+    if let Outcome::StatsSnapshot { registry, .. } = &response.outcome {
+        let engine: Vec<&(String, u64)> = registry
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with("engine."))
+            .collect();
+        if !engine.is_empty() {
+            println!("--- engine counters (server lifetime) ---");
+            for (n, v) in engine {
+                println!("{:<40} {v}", n.trim_start_matches("engine."));
+            }
+        }
+    }
+    std::process::exit(if matches!(response.outcome, Outcome::StatsSnapshot { .. }) {
+        0
+    } else {
+        3
+    });
 }

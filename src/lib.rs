@@ -15,6 +15,8 @@
 //!   of the paper;
 //! * [`vqd_budget`] — resource governance: budgets, deadlines, cooperative
 //!   cancellation, and fault injection for every long-running engine;
+//! * [`vqd_obs`] — observability: engine counters, a metrics registry,
+//!   and span tracing shared by every engine and the server;
 //! * [`vqd_server`] — the budget-governed TCP service exposing the
 //!   paper's effective procedures, plus its wire protocol and client.
 
@@ -25,6 +27,7 @@ pub use vqd_datalog as datalog;
 pub use vqd_eval as eval;
 pub use vqd_instance as instance;
 pub use vqd_monoid as monoid;
+pub use vqd_obs as obs;
 pub use vqd_query as query;
 pub use vqd_server as server;
 pub use vqd_turing as turing;

@@ -30,6 +30,15 @@ use vqd::query::{
 /// engines are sampled evenly rather than swept exhaustively.
 const MAX_TRIP_POINTS: u64 = 48;
 
+/// Serializes the tests that read or flip the process-global tracing
+/// switch: exact-snapshot comparisons must not race a test that enables
+/// tracing (which would move the span-event counter under them).
+static TRACING_SENSITIVE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn tracing_sensitive() -> std::sync::MutexGuard<'static, ()> {
+    TRACING_SENSITIVE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Runs `op` unbudgeted to learn its checkpoint count and baseline
 /// outcome, then injects a fault at (a sample of) every checkpoint.
 ///
@@ -408,5 +417,179 @@ fn index_maintenance_policy_does_not_change_governance_semantics() {
                 "trip at {n}/{total}: both policies must exhaust, got {inc:?} / {reb:?}"
             ),
         }
+    }
+}
+
+/// Engine counters must be *exact* under governance, not best-effort:
+/// a budget trip mid-chase or mid-fixpoint leaves the thread-local
+/// counters reflecting precisely the work done before the trip (never
+/// more than the full run), and a clean retry reproduces the baseline
+/// counts bit-for-bit. Counters are thread-local, so concurrent tests in
+/// this binary cannot interfere.
+#[test]
+fn engine_counters_stay_exact_across_budget_trips() {
+    use vqd::chase::v_inverse_indexed;
+    use vqd::obs::{Metric, MetricsSnapshot};
+
+    let _guard = tracing_sensitive();
+    let schema = Schema::new([("E", 2)]);
+    let mut names = DomainNames::new();
+    let prog = parse_program(&schema, &mut names, "V(x,y) :- E(x,z), E(z,y).").unwrap();
+    let views = CqViews::new(ViewSet::new(&schema, prog.defs));
+    let d = parse_instance(&schema, &mut names, "E(A,B). E(B,C). E(C,D). E(D,A).").unwrap();
+    let image = apply_views(views.as_view_set(), &d);
+    let base = Instance::empty(&schema);
+    let chase = |b: &Budget| {
+        let mut nulls = NullGen::new();
+        v_inverse_indexed(&views, &base, &image, &mut nulls, b)
+    };
+    let measure = |b: &Budget| {
+        let before = MetricsSnapshot::capture();
+        let out = chase(b);
+        (MetricsSnapshot::capture().diff(&before), out)
+    };
+
+    let (baseline, out) = measure(&Budget::unlimited());
+    out.expect("unlimited chase completes");
+    assert!(baseline.get(Metric::ChaseRounds) > 0, "chase rounds must be counted");
+    assert!(baseline.get(Metric::ChaseTriggersFired) > 0, "triggers must be counted");
+    assert!(baseline.get(Metric::ChaseNullsCreated) > 0, "invented nulls must be counted");
+
+    let probe = Budget::unlimited();
+    chase(&probe).expect("probe completes");
+    let total = probe.steps();
+    for n in 1..=total {
+        let (tripped, out) = measure(&Budget::unlimited().trip_after(n));
+        assert!(out.is_err(), "trip at {n}/{total} must exhaust");
+        for m in [Metric::ChaseRounds, Metric::ChaseTriggersFired, Metric::ChaseNullsCreated]
+        {
+            assert!(
+                tripped.get(m) <= baseline.get(m),
+                "trip at {n}/{total}: {} overshot the full run ({} > {})",
+                m.name(),
+                tripped.get(m),
+                baseline.get(m)
+            );
+        }
+        let (retry, out) = measure(&Budget::unlimited());
+        out.expect("retry completes");
+        assert_eq!(retry, baseline, "retry after trip at {n}/{total} disagrees");
+    }
+
+    // Same contract for the Datalog fixpoint counters.
+    let schema = Schema::new([("E", 2), ("T", 2)]);
+    let mut names = DomainNames::new();
+    let prog = vqd::datalog::Program::parse(
+        &schema,
+        &mut names,
+        "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+    )
+    .unwrap();
+    let edb = parse_instance(&schema, &mut names, "E(A,B). E(B,C). E(C,D).").unwrap();
+    let saturate =
+        |b: &Budget| eval_program_budgeted(&prog, &edb, Strategy::SemiNaive, b);
+    let measure = |b: &Budget| {
+        let before = MetricsSnapshot::capture();
+        let out = saturate(b);
+        (MetricsSnapshot::capture().diff(&before), out)
+    };
+    let (baseline, out) = measure(&Budget::unlimited());
+    out.expect("unlimited saturation completes");
+    assert!(baseline.get(Metric::FixpointRounds) > 0);
+    assert!(baseline.get(Metric::FixpointDeltaTuples) > 0);
+    let probe = Budget::unlimited();
+    saturate(&probe).unwrap();
+    let total = probe.steps();
+    for n in 1..=total {
+        let (tripped, out) = measure(&Budget::unlimited().trip_after(n));
+        assert!(out.is_err(), "trip at {n}/{total} must exhaust");
+        assert!(tripped.get(Metric::FixpointDeltaTuples) <= baseline.get(Metric::FixpointDeltaTuples));
+        let (retry, out) = measure(&Budget::unlimited());
+        out.expect("retry completes");
+        assert_eq!(retry, baseline, "retry after fixpoint trip at {n}/{total} disagrees");
+    }
+}
+
+/// With tracing enabled, the Drop-based span guards must close every
+/// span even when a budget trip unwinds the engine mid-round: after any
+/// run the thread's span depth is back to zero and the drained events
+/// are well-formed (known names, depth 0 roots, no dropped events).
+#[test]
+fn spans_close_cleanly_when_budgets_trip_mid_engine() {
+    use vqd::chase::v_inverse_budgeted;
+    use vqd::obs;
+
+    let _guard = tracing_sensitive();
+    let schema = Schema::new([("E", 2)]);
+    let mut names = DomainNames::new();
+    let prog = parse_program(&schema, &mut names, "V(x,y) :- E(x,z), E(z,y).").unwrap();
+    let views = CqViews::new(ViewSet::new(&schema, prog.defs));
+    let d = parse_instance(&schema, &mut names, "E(A,B). E(B,C). E(C,D).").unwrap();
+    let image = apply_views(views.as_view_set(), &d);
+    let base = Instance::empty(&schema);
+
+    let dl_schema = Schema::new([("E", 2), ("T", 2)]);
+    let mut dl_names = DomainNames::new();
+    let dl_prog = vqd::datalog::Program::parse(
+        &dl_schema,
+        &mut dl_names,
+        "T(x,y) :- E(x,y).\nT(x,z) :- T(x,y), E(y,z).",
+    )
+    .unwrap();
+    let edb = parse_instance(&dl_schema, &mut dl_names, "E(A,B). E(B,C). E(C,D).").unwrap();
+
+    // Tracing is process-global; flip it on only for the scope of this
+    // test (other tests in this binary don't read the span ring).
+    obs::set_tracing(true);
+    let _ = obs::drain_spans();
+    for trip in [1u64, 2, 3, 5, 8] {
+        let mut nulls = NullGen::new();
+        let _ = v_inverse_budgeted(
+            &views,
+            &base,
+            &image,
+            &mut nulls,
+            &Budget::unlimited().trip_after(trip),
+        );
+        assert_eq!(
+            obs::current_depth(),
+            0,
+            "chase trip at {trip} left an open span on this thread"
+        );
+        let _ = eval_program_budgeted(
+            &dl_prog,
+            &edb,
+            Strategy::SemiNaive,
+            &Budget::unlimited().trip_after(trip),
+        );
+        assert_eq!(
+            obs::current_depth(),
+            0,
+            "fixpoint trip at {trip} left an open span on this thread"
+        );
+    }
+    // One clean run of each so the ring holds completed rounds too.
+    let mut nulls = NullGen::new();
+    v_inverse_budgeted(&views, &base, &image, &mut nulls, &Budget::unlimited()).unwrap();
+    eval_program_budgeted(&dl_prog, &edb, Strategy::SemiNaive, &Budget::unlimited()).unwrap();
+    let events = obs::drain_spans();
+    obs::set_tracing(false);
+
+    assert!(!events.is_empty(), "traced runs must record span events");
+    assert_eq!(obs::dropped_spans(), 0, "the ring must not have overflowed here");
+    for e in &events {
+        assert!(
+            e.name == "chase.round" || e.name == "fixpoint.round",
+            "unexpected span name {}",
+            e.name
+        );
+        assert_eq!(e.depth, 0, "round spans are roots");
+    }
+    // The JSONL export is one object per line, parseable by our own
+    // JSON parser.
+    let jsonl = obs::spans_to_jsonl(&events);
+    assert_eq!(jsonl.lines().count(), events.len());
+    for line in jsonl.lines() {
+        serde::json::parse(line).expect("span JSONL lines parse");
     }
 }

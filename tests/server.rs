@@ -306,6 +306,46 @@ fn certain_answers_and_stats_over_the_wire() {
     handle.shutdown();
 }
 
+/// Regression guard for per-request stat attribution: two identical
+/// requests issued *sequentially on one connection* (so they land on
+/// the same worker thread, whose thread-local counters keep growing)
+/// must report identical per-request work and profiles. A diffing bug
+/// that leaked the first request's counters into the second would make
+/// the second strictly larger.
+#[test]
+fn sequential_requests_on_one_connection_get_independent_stats() {
+    let handle = server(1, 16);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let request = || Request::Certain {
+        schema: "E/2".to_owned(),
+        views: "V(x,y) :- E(x,z), E(z,y).".to_owned(),
+        query: "Q(x,y) :- E(x,z), E(z,y).".to_owned(),
+        extent: "V(A,B). V(B,C). V(C,D).".to_owned(),
+    };
+    let first = client.call_profiled(Limits::none(), request()).expect("first call");
+    let second = client.call_profiled(Limits::none(), request()).expect("second call");
+    assert!(
+        matches!(first.outcome, Outcome::CertainAnswers { .. }),
+        "got {:?}",
+        first.outcome
+    );
+    assert_eq!(first.outcome, second.outcome);
+    assert!(first.work.index_builds > 0, "the chase must build an index");
+    assert_eq!(
+        first.work.index_builds, second.work.index_builds,
+        "index work leaked across requests"
+    );
+    assert_eq!(
+        first.work.index_tuples, second.work.index_tuples,
+        "index tuple counts leaked across requests"
+    );
+    let p1 = first.profile.expect("profile requested");
+    let p2 = second.profile.expect("profile requested");
+    assert!(!p1.is_zero(), "chase work must appear in the profile");
+    assert_eq!(p1, p2, "engine counter deltas leaked across requests");
+    handle.shutdown();
+}
+
 #[test]
 fn wire_shutdown_request_drains_the_server() {
     let handle = server(2, 16);
