@@ -30,7 +30,7 @@ use vqd_bench::genq::{path_query, path_views};
 use vqd_budget::Budget;
 use vqd_chase::{v_inverse, v_inverse_indexed};
 use vqd_datalog::{eval_program_with, Program, Strategy};
-use vqd_eval::{apply_views, eval_cq, eval_cq_with_index};
+use vqd_eval::{apply_views, eval_cq};
 use vqd_instance::{
     index_stats, named, DomainNames, IndexMaintenance, IndexStats, Instance, NullGen, Schema,
 };
@@ -173,7 +173,7 @@ fn chase_case(s: &Schema, m: u32, probes: usize, reps: usize, agree: &mut bool) 
         let mut nulls = NullGen::new();
         let chased = v_inverse_indexed(&views, &base, &extent, &mut nulls, &budget)
             .unwrap_or_else(|e| die(&format!("chase m={m}: {e}")));
-        queries.iter().map(|q| eval_cq_with_index(q, &chased)).collect::<Vec<_>>()
+        queries.iter().map(|q| eval_cq(q, &chased)).collect::<Vec<_>>()
     });
     let (reb_ms, reb_stats, reb_out) = measure(reps, || {
         let mut nulls = NullGen::new();

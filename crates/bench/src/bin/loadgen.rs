@@ -3,10 +3,18 @@
 //! Spawns an in-process server (or targets `--addr`), drives it with
 //! `--conns` concurrent client connections each issuing `--requests`
 //! randomized requests (a mix of determinacy decisions, rewritings,
-//! certain-answer evaluations, bounded containment, semantic scans, and
-//! pings generated via [`vqd_bench::genq`]), and writes a JSON report
-//! with throughput, latency percentiles, and outcome counts to
-//! `BENCH_server.json`.
+//! certain-answer evaluations — inline and via cached instance handles,
+//! bounded containment, semantic scans, and pings generated via
+//! [`vqd_bench::genq`]), and writes a JSON report with throughput,
+//! latency percentiles, cache hit/miss latency splits, and outcome
+//! counts to `BENCH_server.json`.
+//!
+//! Every connection `put`s one shared extent up front and routes part
+//! of its certain-answer traffic through the returned handle. All
+//! connections share one extent fingerprint, so the server chases it
+//! once and serves the rest from the cross-request index cache; the
+//! report splits handle-request latency by hit vs. miss (classified
+//! client-side: a hit reports `index_builds: 0` in the work envelope).
 //!
 //! ```text
 //! loadgen [--conns 32] [--requests 25] [--workers 4] [--queue-depth 64]
@@ -26,7 +34,7 @@ use std::time::{Duration, Instant};
 use vqd_bench::genq::{path_query, path_views, random_cq, CqGen};
 use vqd_instance::Schema;
 use vqd_server::{
-    Client, Limits, Outcome, Request, ServerCaps, ServerConfig, WireMetrics,
+    Client, ErrorKind, Limits, Outcome, Request, ServerCaps, ServerConfig, WireMetrics,
 };
 
 struct Args {
@@ -96,10 +104,29 @@ fn parse_args() -> Args {
     Args { ..args }
 }
 
+/// The shared extent every connection registers once; one fingerprint
+/// across the whole run, so the server's derived-index cache converges
+/// to a single hot entry. Big enough that the miss (a full chase plus
+/// index builds) costs measurable server-side milliseconds.
+fn shared_extent() -> String {
+    (0..512).map(|i| format!("V(N{i},N{}). ", i + 1)).collect()
+}
+
+fn certain_by_handle(handle: &str) -> Request {
+    Request::CertainHandle {
+        schema: "E/2".to_owned(),
+        views: "V(x,y) :- E(x,y).".to_owned(),
+        query: "Q(x,z) :- E(x,y), E(y,z).".to_owned(),
+        handle: handle.to_owned(),
+    }
+}
+
 /// One randomized request over the graph schema `E/2`, as wire text.
-fn sample_request(rng: &mut StdRng, schema: &Schema) -> Request {
+/// `handle` routes a slice of the certain-answer traffic through the
+/// cross-request cache.
+fn sample_request(rng: &mut StdRng, schema: &Schema, handle: &str) -> Request {
     let schema_text = "E/2".to_owned();
-    match rng.gen_range(0..10u32) {
+    match rng.gen_range(0..12u32) {
         // Path-view determinacy with a known-positive instance (k=2
         // views determine the length-4 query) and a known-negative one.
         0..=2 => {
@@ -125,15 +152,18 @@ fn sample_request(rng: &mut StdRng, schema: &Schema) -> Request {
                 query: random_cq(schema, p, rng).render("Q"),
             }
         }
-        // Certain answers on a concrete extent.
-        5..=6 => Request::Certain {
+        // Certain answers on a concrete inline extent (small, so the
+        // inline path stays cheap; the shared extent goes via handles).
+        5 => Request::Certain {
             schema: schema_text,
             views: "V(x,y) :- E(x,y).".to_owned(),
             query: path_query(schema, 2).render("Q"),
             extent: "V(A,B). V(B,C). V(C,D).".to_owned(),
         },
+        // Repeated-extent traffic through the cached handle.
+        6..=8 => certain_by_handle(handle),
         // Bounded containment between path queries.
-        7 => {
+        9 => {
             let k = rng.gen_range(2..=3usize);
             Request::Containment {
                 schema: schema_text,
@@ -144,7 +174,7 @@ fn sample_request(rng: &mut StdRng, schema: &Schema) -> Request {
             }
         }
         // One exhaustive semantic scan at domain 2 (cheap but real work).
-        8 => Request::Semantic {
+        10 => Request::Semantic {
             schema: schema_text,
             views: path_views(schema, 2).as_view_set().to_string(),
             query: path_query(schema, 3).render("Q"),
@@ -158,10 +188,19 @@ fn sample_request(rng: &mut StdRng, schema: &Schema) -> Request {
 #[derive(Default)]
 struct ConnStats {
     latencies_ms: Vec<f64>,
+    /// Handle-request latencies, split by whether the server reused the
+    /// cached index (`index_builds == 0` in the work envelope). Client
+    /// vectors are round-trip (queueing included); server vectors are
+    /// the work envelope's own `elapsed_ms`, isolating engine cost.
+    hit_latencies_ms: Vec<f64>,
+    miss_latencies_ms: Vec<f64>,
+    hit_server_ms: Vec<f64>,
+    miss_server_ms: Vec<f64>,
     ok: u64,
     exhausted: u64,
     overloaded: u64,
     errors: u64,
+    reputs: u64,
 }
 
 fn drive_connection(
@@ -176,13 +215,42 @@ fn drive_connection(
     client
         .set_read_timeout(Some(Duration::from_secs(30)))
         .map_err(|e| format!("timeout: {e}"))?;
+    // Register the shared extent once; every connection gets its own
+    // handle but the same fingerprint, so the derived index is shared.
+    let extent = shared_extent();
+    let (mut handle, _) =
+        client.put_instance("V/2", &*extent).map_err(|e| format!("put: {e}"))?;
     let mut stats = ConnStats::default();
     for _ in 0..requests {
-        let request = sample_request(&mut rng, &schema);
+        let request = sample_request(&mut rng, &schema, &handle);
+        let is_handle_req = matches!(request, Request::CertainHandle { .. });
         let limits = Limits { deadline_ms: Some(deadline_ms), ..Limits::none() };
         let start = Instant::now();
-        let response = client.call(limits, request).map_err(|e| format!("call: {e}"))?;
-        stats.latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        let mut response =
+            client.call(limits.clone(), request).map_err(|e| format!("call: {e}"))?;
+        // Handles are cache references, not leases: on eviction the
+        // client re-puts and retries, exactly once per occurrence.
+        if is_handle_req && vqd_server::client::is_error_kind(&response, ErrorKind::UnknownHandle)
+        {
+            let (h, _) =
+                client.put_instance("V/2", &*extent).map_err(|e| format!("re-put: {e}"))?;
+            handle = h;
+            stats.reputs += 1;
+            response = client
+                .call(limits, certain_by_handle(&handle))
+                .map_err(|e| format!("retry: {e}"))?;
+        }
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        stats.latencies_ms.push(elapsed_ms);
+        if is_handle_req && matches!(response.outcome, Outcome::CertainAnswers { .. }) {
+            if response.work.index_builds == 0 {
+                stats.hit_latencies_ms.push(elapsed_ms);
+                stats.hit_server_ms.push(response.work.elapsed_ms as f64);
+            } else {
+                stats.miss_latencies_ms.push(elapsed_ms);
+                stats.miss_server_ms.push(response.work.elapsed_ms as f64);
+            }
+        }
         match response.outcome {
             Outcome::Error { kind, message } => {
                 // Protocol/engine errors under generated load are bugs:
@@ -260,10 +328,15 @@ fn main() {
         match t.join() {
             Ok(Ok(s)) => {
                 all.latencies_ms.extend(s.latencies_ms);
+                all.hit_latencies_ms.extend(s.hit_latencies_ms);
+                all.miss_latencies_ms.extend(s.miss_latencies_ms);
+                all.hit_server_ms.extend(s.hit_server_ms);
+                all.miss_server_ms.extend(s.miss_server_ms);
                 all.ok += s.ok;
                 all.exhausted += s.exhausted;
                 all.overloaded += s.overloaded;
                 all.errors += s.errors;
+                all.reputs += s.reputs;
             }
             Ok(Err(msg)) => {
                 eprintln!("loadgen: connection failed: {msg}");
@@ -277,6 +350,24 @@ fn main() {
     }
     let elapsed = started.elapsed();
     let registry_after = registry.as_ref().map(|r| r.snapshot());
+    // Server-side cache counters, read over the wire so external
+    // (`--addr`) targets report them too.
+    let cache_counters = Client::connect(addr)
+        .ok()
+        .and_then(|mut c| c.cache_stats().ok())
+        .and_then(|outcome| match outcome {
+            Outcome::CacheStatsSnapshot {
+                entries, bytes, hits, misses, evictions, puts, ..
+            } => Some(Value::object([
+                ("entries", Value::from(entries)),
+                ("bytes", Value::from(bytes)),
+                ("hits", Value::from(hits)),
+                ("misses", Value::from(misses)),
+                ("evictions", Value::from(evictions)),
+                ("puts", Value::from(puts)),
+            ])),
+            _ => None,
+        });
     let server_metrics: Option<WireMetrics> = handle.map(|h| h.shutdown());
 
     let completed = all.latencies_ms.len() as u64;
@@ -288,6 +379,16 @@ fn main() {
         percentile(&all.latencies_ms, 0.99),
     );
     let max_ms = all.latencies_ms.last().copied().unwrap_or(0.0);
+
+    let sortf = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    };
+    sortf(&mut all.hit_latencies_ms);
+    sortf(&mut all.miss_latencies_ms);
+    sortf(&mut all.hit_server_ms);
+    sortf(&mut all.miss_server_ms);
+    let (hits, misses) = (all.hit_latencies_ms.len(), all.miss_latencies_ms.len());
+    let hit_ratio = hits as f64 / (hits + misses).max(1) as f64;
 
     let mut report = vec![
         ("bench".to_owned(), Value::from("server_loadgen")),
@@ -315,7 +416,38 @@ fn main() {
                 ("max", Value::from(max_ms)),
             ]),
         ),
+        (
+            "handle_cache".to_owned(),
+            Value::object([
+                ("handle_requests", Value::from(hits + misses)),
+                ("hits", Value::from(hits)),
+                ("misses", Value::from(misses)),
+                ("hit_ratio", Value::from(hit_ratio)),
+                ("reputs", Value::from(all.reputs)),
+                (
+                    "hit_latency_ms",
+                    Value::object([
+                        ("p50", Value::from(percentile(&all.hit_latencies_ms, 0.50))),
+                        ("p95", Value::from(percentile(&all.hit_latencies_ms, 0.95))),
+                        ("server_p50", Value::from(percentile(&all.hit_server_ms, 0.50))),
+                        ("server_p95", Value::from(percentile(&all.hit_server_ms, 0.95))),
+                    ]),
+                ),
+                (
+                    "miss_latency_ms",
+                    Value::object([
+                        ("p50", Value::from(percentile(&all.miss_latencies_ms, 0.50))),
+                        ("p95", Value::from(percentile(&all.miss_latencies_ms, 0.95))),
+                        ("server_p50", Value::from(percentile(&all.miss_server_ms, 0.50))),
+                        ("server_p95", Value::from(percentile(&all.miss_server_ms, 0.95))),
+                    ]),
+                ),
+            ]),
+        ),
     ];
+    if let Some(cache) = cache_counters {
+        report.push(("server_cache".to_owned(), cache));
+    }
     if let Some(m) = &server_metrics {
         report.push((
             "server".to_owned(),
@@ -364,6 +496,14 @@ fn main() {
         all.exhausted,
         all.overloaded,
         all.errors
+    );
+    println!(
+        "handle cache: {hits} hits / {misses} misses ({:.0}% hit) | \
+         server-side p50 hit {:.0}ms vs miss {:.0}ms | {} re-puts",
+        hit_ratio * 100.0,
+        percentile(&all.hit_server_ms, 0.50),
+        percentile(&all.miss_server_ms, 0.50),
+        all.reputs
     );
     if panics > 0 || failures > 0 || completed == 0 {
         std::process::exit(1)

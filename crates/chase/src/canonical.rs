@@ -14,7 +14,7 @@
 use crate::inverse::{v_inverse_indexed, CqViews};
 use std::collections::BTreeMap;
 use vqd_budget::{Budget, VqdError};
-use vqd_eval::{eval_cq_with_index, freeze};
+use vqd_eval::{eval_cq, freeze};
 use vqd_instance::{Instance, NullGen, Value};
 use vqd_query::{Cq, CqLang, Term, VarId};
 
@@ -147,7 +147,7 @@ pub fn proposition_3_5_test_budgeted(
         "chased canonical instance to {} tuples, membership test pending",
         d_prime.instance().total_tuples()
     ))?;
-    let holds = eval_cq_with_index(q, &d_prime).contains(&can.frozen_head);
+    let holds = eval_cq(q, &d_prime).contains(&can.frozen_head);
     Ok((holds, d_prime.into_instance()))
 }
 

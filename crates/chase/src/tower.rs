@@ -18,7 +18,7 @@
 use crate::canonical::{try_canonical, Canonical};
 use crate::inverse::{v_inverse_budgeted, CqViews};
 use vqd_budget::{Budget, VqdError};
-use vqd_eval::{eval_cq, instance_hom, instance_hom_with_index};
+use vqd_eval::{eval_cq, instance_hom};
 use vqd_instance::{IndexedInstance, Instance, NullGen, Value};
 use vqd_query::Cq;
 
@@ -185,11 +185,11 @@ impl Tower {
             .collect();
         // Both hom tests at this level target D_k: index it once.
         let d_k_index = IndexedInstance::from_instance(&self.d[k]);
-        let hom1 = instance_hom_with_index(&self.d_prime[k], &d_k_index, &fix_d).is_some();
+        let hom1 = instance_hom(&self.d_prime[k], &d_k_index, &fix_d).is_some();
         let sprime_ext = self.s_prime[k + 1].is_extension_of(&self.s[k]);
         let d_ext = self.d[k + 1].is_extension_of(&self.d[k]);
         let fix_dk: Vec<Value> = self.d[k].adom().into_iter().collect();
-        let d_hom = instance_hom_with_index(&self.d[k + 1], &d_k_index, &fix_dk).is_some();
+        let d_hom = instance_hom(&self.d[k + 1], &d_k_index, &fix_dk).is_some();
         let s_ext = self.s[k + 1].is_extension_of(&self.s_prime[k + 1]);
         let dp_ext = self.d_prime[k + 1].is_extension_of(&self.d_prime[k]);
         let fix_dpk: Vec<Value> = self.d_prime[k].adom().into_iter().collect();

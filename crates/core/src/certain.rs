@@ -18,8 +18,8 @@
 use crate::answering::for_each_preimage;
 use vqd_budget::VqdError;
 use vqd_chase::{v_inverse_indexed, CqViews};
-use vqd_eval::{eval_cq_with_index, eval_query};
-use vqd_instance::{Instance, NullGen, Relation};
+use vqd_eval::{eval_cq, eval_query, EvalInput};
+use vqd_instance::{IndexedInstance, Instance, NullGen, Relation};
 use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
 
 /// Certain answers under the *sound view* assumption, for CQ views and a
@@ -44,19 +44,52 @@ pub fn certain_sound_budgeted(
     extent: &Instance,
     budget: &vqd_budget::Budget,
 ) -> Result<Relation, VqdError> {
+    require_plain_cq(q)?; // reject before paying for the chase
+    let chased = canonical_database_budgeted(views, extent, budget)?;
+    certain_from_canonical(q, &chased, budget)
+}
+
+fn require_plain_cq(q: &Cq) -> Result<(), VqdError> {
     if q.language() != CqLang::Cq {
         return Err(VqdError::InvalidInput {
             context: "certain_sound",
             message: "requires a plain CQ query (no =, ≠, ¬)".to_owned(),
         });
     }
+    Ok(())
+}
+
+/// Chases the extent to the canonical database `V_∅^{-1}(E)`, returning
+/// the chase's maintained index.
+///
+/// Split out of [`certain_sound_budgeted`] so a caller serving many
+/// queries against one extent (the server's cross-request cache) can pay
+/// the chase once, share the index, and run [`certain_from_canonical`]
+/// per query with zero further index builds. Nulls are drawn from a
+/// fresh [`NullGen`], so the result depends only on `(views, extent)` —
+/// the same canonical database answers every query.
+pub fn canonical_database_budgeted(
+    views: &CqViews,
+    extent: &Instance,
+    budget: &vqd_budget::Budget,
+) -> Result<IndexedInstance, VqdError> {
     let mut nulls = NullGen::new();
     let empty = Instance::empty(views.as_view_set().input_schema());
-    // The chase returns its maintained index; Q evaluates over it with no
-    // further index builds.
-    let chased = v_inverse_indexed(views, &empty, extent, &mut nulls, budget)?;
+    v_inverse_indexed(views, &empty, extent, &mut nulls, budget)
+}
+
+/// Evaluates `q` over a canonical database from
+/// [`canonical_database_budgeted`] and keeps the null-free tuples — the
+/// second half of [`certain_sound_budgeted`]. Pass the chased index (or
+/// a shared `Arc` of it) to evaluate with no further index builds.
+pub fn certain_from_canonical<I: EvalInput + ?Sized>(
+    q: &Cq,
+    chased: &I,
+    budget: &vqd_budget::Budget,
+) -> Result<Relation, VqdError> {
+    require_plain_cq(q)?;
     let mut out = Relation::new(q.arity());
-    for t in eval_cq_with_index(q, &chased).iter() {
+    for t in eval_cq(q, chased).iter() {
         budget.checkpoint_with(&format_args!(
             "filtering certain answers: {} kept so far",
             out.len()

@@ -21,7 +21,7 @@ use crate::determinacy::semantic::{Counterexample, SemanticVerdict};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use vqd_budget::{Budget, ExhaustReason, Exhausted, VqdError};
-use vqd_eval::{apply_views_with_index, eval_query_with_index};
+use vqd_eval::{apply_views, eval_query};
 use vqd_instance::gen::{instance_at, space_size};
 use vqd_instance::{Instance, Relation};
 use vqd_query::{QueryExpr, ViewSet};
@@ -113,8 +113,8 @@ pub fn check_exhaustive_parallel_budgeted(
                     let d = instance_at(schema, n, i);
                     // One index per candidate instance, shared by V and Q.
                     let idx = vqd_instance::IndexedInstance::new(d);
-                    let image = apply_views_with_index(views, &idx);
-                    let out = eval_query_with_index(q, &idx);
+                    let image = apply_views(views, &idx);
+                    let out = eval_query(q, &idx);
                     let d = idx.into_instance();
                     match local.get(&image) {
                         None => {

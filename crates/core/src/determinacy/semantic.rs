@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 use vqd_budget::{Budget, VqdError};
-use vqd_eval::{apply_views, apply_views_with_index, eval_query, eval_query_with_index};
+use vqd_eval::{apply_views, eval_query};
 use vqd_instance::gen::{random_instance, space_size, InstanceEnumerator};
 use vqd_instance::{Instance, Relation};
 use vqd_query::{QueryExpr, ViewSet};
@@ -126,8 +126,8 @@ pub fn check_exhaustive_budgeted(
         }
         // One index per candidate instance, shared by V and Q.
         let idx = vqd_instance::IndexedInstance::new(d);
-        let image = apply_views_with_index(views, &idx);
-        let out = eval_query_with_index(q, &idx);
+        let image = apply_views(views, &idx);
+        let out = eval_query(q, &idx);
         let d = idx.into_instance();
         match by_image.get(&image) {
             None => {
@@ -192,8 +192,8 @@ pub fn check_random_budgeted(
             .map_err(Box::new)?;
         let d = random_instance(schema, n, density, rng);
         let idx = vqd_instance::IndexedInstance::new(d);
-        let image = apply_views_with_index(views, &idx);
-        let out = eval_query_with_index(q, &idx);
+        let image = apply_views(views, &idx);
+        let out = eval_query(q, &idx);
         let d = idx.into_instance();
         match by_image.get(&image) {
             None => {

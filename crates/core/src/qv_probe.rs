@@ -15,7 +15,7 @@
 //! the probe must find the violation. Experiment E16 runs both sides.
 
 use std::collections::HashMap;
-use vqd_eval::{apply_views_with_index, eval_query_with_index};
+use vqd_eval::{apply_views, eval_query};
 use vqd_instance::gen::{space_size, InstanceEnumerator};
 use vqd_instance::{Instance, Relation};
 use vqd_query::{QueryExpr, ViewSet};
@@ -63,8 +63,8 @@ pub fn qv_monotonicity_probe(
     let mut clashes = 0usize;
     for d in InstanceEnumerator::new(views.input_schema(), n) {
         let idx = vqd_instance::IndexedInstance::new(d);
-        let image = apply_views_with_index(views, &idx);
-        let out = eval_query_with_index(q, &idx);
+        let image = apply_views(views, &idx);
+        let out = eval_query(q, &idx);
         match by_image.get(&image) {
             None => {
                 by_image.insert(image, out);

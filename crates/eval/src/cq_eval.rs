@@ -6,8 +6,9 @@
 //! unification, so the homomorphism engine only ever sees positive atoms.
 
 use crate::hom::{for_each_hom, Assignment, Ordering};
+use crate::input::EvalInput;
 use std::collections::BTreeMap;
-use vqd_instance::{IndexedInstance, Instance, Relation, Value};
+use vqd_instance::{IndexedInstance, Relation, Value};
 use vqd_query::{Cq, Term, Ucq, VarId};
 
 /// The result of compiling equality constraints: a substitution making all
@@ -76,7 +77,14 @@ pub fn normalize_eqs(q: &Cq) -> Option<Cq> {
     }
 }
 
-/// Evaluates a conjunctive query (with any of its extensions) on `D`.
+/// Evaluates a conjunctive query (with any of its extensions) on any
+/// [`EvalInput`]: a bare [`Instance`] (an index is built for the call),
+/// a prebuilt [`IndexedInstance`], or a shared `Arc<IndexedInstance>`.
+/// Callers evaluating several queries over one instance (view
+/// application, containment, the saturation engines) build the index
+/// once and pass it to every call instead of paying one build per query.
+///
+/// [`Instance`]: vqd_instance::Instance
 ///
 /// ```
 /// use vqd_eval::eval_cq;
@@ -99,15 +107,18 @@ pub fn normalize_eqs(q: &Cq) -> Option<Cq> {
 /// Panics if the (equality-normalized) query is unsafe: every variable in
 /// the head, in a negated atom, or in an inequality must occur in a
 /// positive atom.
-pub fn eval_cq(q: &Cq, d: &Instance) -> Relation {
-    eval_cq_with_index(q, &IndexedInstance::from_instance(d))
+pub fn eval_cq<I: EvalInput + ?Sized>(q: &Cq, input: &I) -> Relation {
+    eval_cq_core(q, &input.index())
 }
 
-/// [`eval_cq`] against a prebuilt index — the entry point for callers
-/// evaluating several queries over one instance (view application,
-/// containment, the saturation engines), which build the index once and
-/// share it instead of paying one full index build per query.
+/// [`eval_cq`] against a prebuilt index. Deprecated spelling: `eval_cq`
+/// now accepts an [`IndexedInstance`] directly — this wrapper survives
+/// only for out-of-tree callers of the historical paired API.
 pub fn eval_cq_with_index(q: &Cq, index: &IndexedInstance) -> Relation {
+    eval_cq_core(q, index)
+}
+
+fn eval_cq_core(q: &Cq, index: &IndexedInstance) -> Relation {
     let d = index.instance();
     let mut out = Relation::new(q.arity());
     let Some(q) = normalize_eqs(q) else {
@@ -150,25 +161,27 @@ pub fn eval_cq_with_index(q: &Cq, index: &IndexedInstance) -> Relation {
     out
 }
 
-/// Evaluates a union of conjunctive queries on `D` (one shared index for
-/// all disjuncts).
-pub fn eval_ucq(u: &Ucq, d: &Instance) -> Relation {
-    eval_ucq_with_index(u, &IndexedInstance::from_instance(d))
-}
-
-/// [`eval_ucq`] against a prebuilt index.
-pub fn eval_ucq_with_index(u: &Ucq, index: &IndexedInstance) -> Relation {
+/// Evaluates a union of conjunctive queries on any [`EvalInput`] (one
+/// shared index for all disjuncts).
+pub fn eval_ucq<I: EvalInput + ?Sized>(u: &Ucq, input: &I) -> Relation {
+    let index = input.index();
     let mut out = Relation::new(u.arity());
     for disjunct in &u.disjuncts {
-        out.union_with(&eval_cq_with_index(disjunct, index));
+        out.union_with(&eval_cq_core(disjunct, &index));
     }
     out
+}
+
+/// [`eval_ucq`] against a prebuilt index. Deprecated spelling: pass the
+/// index to [`eval_ucq`] directly.
+pub fn eval_ucq_with_index(u: &Ucq, index: &IndexedInstance) -> Relation {
+    eval_ucq(u, index)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vqd_instance::{named, Schema};
+    use vqd_instance::{named, Instance, Schema};
     use vqd_query::parse_query;
     use vqd_instance::DomainNames;
 

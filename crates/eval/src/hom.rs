@@ -22,6 +22,7 @@
 //! containment, the Datalog saturator) build it once and thread it
 //! through instead of rebuilding per call.
 
+use crate::input::EvalInput;
 use std::collections::BTreeMap;
 use vqd_instance::{IndexedInstance, Instance, Value};
 use vqd_obs::Metric;
@@ -214,19 +215,29 @@ pub fn hom_exists(atoms: &[Atom], instance: &Instance, fixed: &Assignment) -> bo
 ///
 /// This is the form Lemma 3.4 and Proposition 3.6 speak about. Internally
 /// the source instance is viewed as a pattern whose nulls (and all values
-/// not in `fix`) act as variables.
-pub fn instance_hom(
+/// not in `fix`) act as variables. The target is any [`EvalInput`]: pass
+/// a prebuilt [`IndexedInstance`] when several sources are tested against
+/// one target, a bare [`Instance`] otherwise.
+pub fn instance_hom<I: EvalInput + ?Sized>(
     src: &Instance,
-    tgt: &Instance,
+    tgt: &I,
     fix: &[Value],
 ) -> Option<BTreeMap<Value, Value>> {
-    let index = IndexedInstance::from_instance(tgt);
-    instance_hom_with_index(src, &index, fix)
+    let index = tgt.index();
+    instance_hom_core(src, &index, fix)
 }
 
-/// [`instance_hom`] against a prebuilt target index — use when several
-/// sources are tested against one target.
+/// [`instance_hom`] against a prebuilt target index. Deprecated
+/// spelling: pass the index to [`instance_hom`] directly.
 pub fn instance_hom_with_index(
+    src: &Instance,
+    tgt: &IndexedInstance,
+    fix: &[Value],
+) -> Option<BTreeMap<Value, Value>> {
+    instance_hom_core(src, tgt, fix)
+}
+
+fn instance_hom_core(
     src: &Instance,
     tgt: &IndexedInstance,
     fix: &[Value],

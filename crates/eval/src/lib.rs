@@ -2,6 +2,11 @@
 //!
 //! The semantic engine underneath every result in the paper:
 //!
+//! * [`input`] — the [`EvalInput`] abstraction: every evaluator takes a
+//!   bare instance (index built per call), a prebuilt
+//!   [`IndexedInstance`](vqd_instance::IndexedInstance), or a shared
+//!   `Arc<IndexedInstance>` through one entry point, replacing the
+//!   historical `eval_*`/`eval_*_with_index` pairs (kept as wrappers);
 //! * [`hom`] — backtracking homomorphism search with per-column indexes
 //!   (the tool behind `c̄ ∈ Q(D)`, the chase lemmas, and containment);
 //! * [`cq_eval`] / [`fo_eval`] — evaluation of the conjunctive family and
@@ -21,6 +26,7 @@ pub mod containment;
 pub mod cq_eval;
 pub mod fo_eval;
 pub mod hom;
+pub mod input;
 pub mod minimize;
 pub mod monotone;
 pub mod view_eval;
@@ -35,6 +41,7 @@ pub use hom::{
     find_hom, for_each_hom, hom_exists, instance_hom, instance_hom_with_index, Assignment,
     Ordering,
 };
+pub use input::{EvalInput, IndexCow};
 pub use minimize::{minimize_cq, minimize_cq_exhaustive, minimize_ucq};
 pub use monotone::{find_nonmonotone_witness, monotone_on_pair, NonMonotoneWitness};
 pub use view_eval::{apply_views, apply_views_with_index, eval_query, eval_query_with_index};

@@ -4,50 +4,42 @@
 //! computes the view image `V(D)` over the output schema `σ_V` — the
 //! object determinacy quantifies over.
 
-use crate::cq_eval::{eval_cq, eval_cq_with_index, eval_ucq, eval_ucq_with_index};
+use crate::cq_eval::{eval_cq, eval_ucq};
 use crate::fo_eval::eval_fo;
+use crate::input::EvalInput;
 use vqd_instance::{IndexedInstance, Instance, Relation};
 use vqd_query::{QueryExpr, ViewSet};
 
-/// Evaluates any query expression on `d`.
-pub fn eval_query(q: &QueryExpr, d: &Instance) -> Relation {
+/// Evaluates any query expression on any [`EvalInput`]. The FO evaluator
+/// is subformula-driven rather than index-driven, so that arm evaluates
+/// on the underlying instance; the conjunctive arms share the input's
+/// index.
+pub fn eval_query<I: EvalInput + ?Sized>(q: &QueryExpr, input: &I) -> Relation {
     match q {
-        QueryExpr::Cq(cq) => eval_cq(cq, d),
-        QueryExpr::Ucq(u) => eval_ucq(u, d),
-        QueryExpr::Fo(f) => eval_fo(f, d),
+        QueryExpr::Cq(cq) => eval_cq(cq, input),
+        QueryExpr::Ucq(u) => eval_ucq(u, input),
+        // The FO evaluator scans, never probes: take the instance
+        // directly so a bare-instance input pays no index build here.
+        QueryExpr::Fo(f) => eval_fo(f, input.instance()),
     }
 }
 
-/// [`eval_query`] against a prebuilt index over the instance. The FO
-/// evaluator is subformula-driven rather than index-driven, so that arm
-/// simply evaluates on the underlying instance.
+/// [`eval_query`] against a prebuilt index. Deprecated spelling: pass the
+/// index to [`eval_query`] directly.
 pub fn eval_query_with_index(q: &QueryExpr, index: &IndexedInstance) -> Relation {
-    match q {
-        QueryExpr::Cq(cq) => eval_cq_with_index(cq, index),
-        QueryExpr::Ucq(u) => eval_ucq_with_index(u, index),
-        QueryExpr::Fo(f) => eval_fo(f, index.instance()),
-    }
+    eval_query(q, index)
 }
 
-/// Computes the view image `V(D)` as an instance over `σ_V`.
-///
-/// Builds one shared index for all view queries (historically this cost
-/// one full index build *per view*).
-///
-/// # Panics
-/// Panics if `d`'s schema differs from the view set's input schema.
-pub fn apply_views(views: &ViewSet, d: &Instance) -> Instance {
-    apply_views_with_index(views, &IndexedInstance::from_instance(d))
-}
-
-/// [`apply_views`] against a prebuilt index — the entry point for the
-/// determinacy searches, which evaluate both `V` and `Q` on every
-/// candidate instance and share a single index between them.
+/// Computes the view image `V(D)` as an instance over `σ_V`, sharing one
+/// index across all view queries (historically this cost one full index
+/// build *per view*). The determinacy searches, which evaluate both `V`
+/// and `Q` on every candidate instance, pass a prebuilt index so the two
+/// evaluations share it.
 ///
 /// # Panics
-/// Panics if the indexed instance's schema differs from the view set's
-/// input schema.
-pub fn apply_views_with_index(views: &ViewSet, index: &IndexedInstance) -> Instance {
+/// Panics if the input's schema differs from the view set's input schema.
+pub fn apply_views<I: EvalInput + ?Sized>(views: &ViewSet, input: &I) -> Instance {
+    let index = input.index();
     assert_eq!(
         index.instance().schema(),
         views.input_schema(),
@@ -56,12 +48,18 @@ pub fn apply_views_with_index(views: &ViewSet, index: &IndexedInstance) -> Insta
     let mut out = Instance::empty(views.output_schema());
     for (i, v) in views.views().iter().enumerate() {
         let rel = views.output_rel(i);
-        let result = eval_query_with_index(&v.query, index);
+        let result = eval_query(&v.query, &*index);
         for t in result.iter() {
             out.insert(rel, t.clone());
         }
     }
     out
+}
+
+/// [`apply_views`] against a prebuilt index. Deprecated spelling: pass
+/// the index to [`apply_views`] directly.
+pub fn apply_views_with_index(views: &ViewSet, index: &IndexedInstance) -> Instance {
+    apply_views(views, index)
 }
 
 #[cfg(test)]

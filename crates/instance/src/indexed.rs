@@ -253,6 +253,48 @@ impl IndexedInstance {
         &self.arena[rel.idx()][id as usize]
     }
 
+    /// Converts into a shared, immutable handle.
+    ///
+    /// The cross-request cache hands the same built index to many
+    /// concurrent readers; `Arc` makes the sharing explicit and the
+    /// read-only API (`scan`/`probe`/`tuple`/`fingerprint`) is all that
+    /// remains reachable through it without cloning.
+    pub fn into_shared(self) -> std::sync::Arc<IndexedInstance> {
+        std::sync::Arc::new(self)
+    }
+
+    /// Approximate resident bytes of the instance plus its index.
+    ///
+    /// Used for byte-bounded cache accounting, so it only needs to be
+    /// stable and monotone in the data size, not exact: it counts tuple
+    /// payloads (instance set + arena copies, including heap spills past
+    /// [`crate::small::INLINE_ARITY`]) and per-column posting entries at
+    /// `size_of` cost, ignoring allocator slack and map bucket overhead.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let value = size_of::<Value>() as u64;
+        let mut bytes = size_of::<Self>() as u64;
+        for (rel, decl) in self.instance.schema().iter() {
+            let r = rel.idx();
+            let rows = self.arena[r].len() as u64;
+            // Instance-side BTreeSet tuples: one Vec<Value> per row.
+            bytes += rows * (size_of::<Tuple>() as u64 + decl.arity as u64 * value);
+            // Arena copies: inline slots are part of SmallTuple; spilled
+            // rows additionally own a heap Vec of the full arity.
+            bytes += rows * size_of::<SmallTuple>() as u64;
+            if decl.arity > crate::small::INLINE_ARITY {
+                bytes += rows * decl.arity as u64 * value;
+            }
+            for col in &self.by_col[r] {
+                for ids in col.values() {
+                    bytes += value + size_of::<Vec<u32>>() as u64;
+                    bytes += ids.len() as u64 * size_of::<u32>() as u64;
+                }
+            }
+        }
+        bytes
+    }
+
     /// A canonical rendering of the *index structure* (not just the
     /// instance): per relation the sorted arena contents, per column the
     /// sorted value → sorted-tuple-list map, with ids resolved to tuples so
@@ -343,6 +385,30 @@ mod tests {
             assert_eq!(idx.tuple(e, id)[0], named(0));
         }
         assert!(idx.probe(e, 1, named(9)).is_empty());
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_data_and_shared_handle_reads() {
+        let s = schema();
+        let empty = IndexedInstance::empty(&s);
+        let base = empty.approx_bytes();
+        let mut idx = IndexedInstance::empty(&s);
+        for i in 0..16 {
+            idx.insert_named("E", vec![named(i), named(i + 1)]);
+        }
+        let small = idx.approx_bytes();
+        assert!(small > base, "data must cost bytes: {small} vs {base}");
+        for i in 16..64 {
+            idx.insert_named("E", vec![named(i), named(i + 1)]);
+        }
+        assert!(idx.approx_bytes() > small, "more data must cost more bytes");
+
+        let fp = idx.fingerprint();
+        let shared = idx.into_shared();
+        let reader = std::sync::Arc::clone(&shared);
+        let e = reader.instance().schema().rel("E");
+        assert_eq!(reader.scan(e).len(), 64);
+        assert_eq!(shared.fingerprint(), fp);
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub use registry::{
     SIZE_BOUNDS,
 };
 pub use trace::{
-    current_depth, drain_spans, dropped_spans, set_tracing, span, span_at, spans_to_jsonl,
-    tracing_enabled, Span, SpanEvent, RING_CAPACITY,
+    current_depth, drain_spans, dropped_spans, set_thread_tracing, set_tracing, span, span_at,
+    spans_to_jsonl, tracing_enabled, Span, SpanEvent, RING_CAPACITY,
 };

@@ -26,14 +26,29 @@ use std::time::Instant;
 
 static TRACING: AtomicBool = AtomicBool::new(false);
 
+thread_local! {
+    static THREAD_TRACING: Cell<bool> = const { Cell::new(false) };
+}
+
 /// Turns span recording on or off process-wide.
 pub fn set_tracing(enabled: bool) {
     TRACING.store(enabled, Ordering::Relaxed);
 }
 
-/// Whether span recording is currently enabled.
+/// Turns span recording on or off for the current thread only.
+///
+/// The effective state is `process-wide OR thread-local`, so a server
+/// worker can trace one job without other workers' spans bleeding into
+/// its ring (each worker thread runs one job at a time). Callers must
+/// clear the override when the scope ends; ring contents are per-thread
+/// either way.
+pub fn set_thread_tracing(enabled: bool) {
+    THREAD_TRACING.with(|t| t.set(enabled));
+}
+
+/// Whether span recording is currently enabled on this thread.
 pub fn tracing_enabled() -> bool {
-    TRACING.load(Ordering::Relaxed)
+    TRACING.load(Ordering::Relaxed) || THREAD_TRACING.with(Cell::get)
 }
 
 /// Maximum retained span events per thread.
@@ -267,6 +282,34 @@ mod tests {
         assert_eq!(events[0].name, "tripped");
         assert_eq!(events[0].steps, 0);
         assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn thread_local_override_traces_without_global_flag() {
+        let _guard = tracing_lock();
+        set_tracing(false);
+        drain_spans();
+        set_thread_tracing(true);
+        {
+            let _sp = span("scoped");
+        }
+        set_thread_tracing(false);
+        let events = drain_spans();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "scoped");
+        // Other threads are unaffected by this thread's override.
+        let elsewhere = std::thread::spawn(|| {
+            let _sp = span("other");
+            drain_spans().len()
+        })
+        .join()
+        .expect("join");
+        assert_eq!(elsewhere, 0, "override must not leak across threads");
+        // Cleared override means spans are inert again on this thread.
+        {
+            let _sp = span("after");
+        }
+        assert!(drain_spans().is_empty());
     }
 
     #[test]

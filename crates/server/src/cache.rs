@@ -1,0 +1,439 @@
+//! Cross-request instance cache: sharded, LRU, capacity- and
+//! byte-bounded.
+//!
+//! Workers historically rebuilt every `IndexedInstance` from the wire
+//! payload, even when consecutive requests chased the same extent — the
+//! repeat-workload shape of view-based access control, where one fixed
+//! extent is queried many times. The cache closes that gap with two
+//! entry kinds sharing one bounded store:
+//!
+//! * **handle entries** (`h<seq>`), registered by `put_instance`: the
+//!   extent's *source text* plus a name-sensitive fingerprint. The
+//!   source is re-parsed into each request's local [`DomainNames`], so a
+//!   handle request interns constants exactly as the inline form would —
+//!   which is what makes hit and miss replies byte-identical;
+//! * **derived entries** (`d:…`), inserted by the engine after a chase:
+//!   the canonical database `V_∅^{-1}(E)` as a shared
+//!   [`Arc<IndexedInstance>`], keyed by the request context (schema,
+//!   views, query sources) plus the extent fingerprint. A later request
+//!   with the same key evaluates over the cached index with **zero**
+//!   index builds.
+//!
+//! A handle is a cache *reference*, not a lease: under entry or byte
+//! pressure the LRU policy may evict it, and the client re-puts on an
+//! `unknown-handle` error. Explicit `evict_instance` removes only the
+//! named handle; derived entries age out via LRU.
+//!
+//! Counters (`cache.hits`/`cache.misses`/`cache.evictions`/`cache.puts`)
+//! and gauges (`cache.entries`/`cache.bytes`) are mirrored into the
+//! server's observability [`Registry`] so `stats` and BENCH_server.json
+//! see them without a separate plumbing path.
+//!
+//! [`DomainNames`]: vqd_instance::DomainNames
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use vqd_instance::IndexedInstance;
+use vqd_obs::Registry;
+
+/// Sizing knobs for the cross-request instance cache. Lives inside
+/// [`crate::server::ServerCaps`] so existing `ServerConfig` literals
+/// keep compiling; `Copy` because caps are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Lock shards. Keys hash to a shard; bounds are split evenly.
+    pub shards: usize,
+    /// Total entry cap across shards (handles + derived).
+    pub max_entries: usize,
+    /// Total approximate-byte cap across shards.
+    pub max_bytes: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig { shards: 4, max_entries: 128, max_bytes: 64 << 20 }
+    }
+}
+
+/// A registered extent: everything needed to replay it into a request's
+/// local interning context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HandleEntry {
+    /// Schema spec the extent was validated against at put time.
+    pub schema: String,
+    /// The extent source text, re-parsed per request.
+    pub extent: String,
+    /// Name-sensitive fingerprint (see [`crate::engine`]): equal
+    /// fingerprints under one request context mean identical chases.
+    pub fingerprint: String,
+    /// Ground tuples in the extent.
+    pub tuples: u64,
+}
+
+enum Slot {
+    Handle(HandleEntry),
+    Index(Arc<IndexedInstance>),
+}
+
+struct Entry {
+    slot: Slot,
+    bytes: u64,
+    /// LRU stamp from the cache-wide clock; smallest = evict first.
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+}
+
+/// Point-in-time cache counters (served by the `cache_stats` op).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Live entries (handles + derived).
+    pub entries: u64,
+    /// Approximate bytes held.
+    pub bytes: u64,
+    /// Derived-index lookups that found a cached chase.
+    pub hits: u64,
+    /// Derived-index lookups that had to chase and insert.
+    pub misses: u64,
+    /// Entries removed — LRU pressure plus explicit evicts.
+    pub evictions: u64,
+    /// `put_instance` registrations.
+    pub puts: u64,
+}
+
+/// The sharded LRU described in the module docs.
+pub struct InstanceCache {
+    shards: Vec<Mutex<Shard>>,
+    config: CacheConfig,
+    clock: AtomicU64,
+    next_handle: AtomicU64,
+    entries: AtomicU64,
+    bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    puts: AtomicU64,
+    registry: Arc<Registry>,
+}
+
+fn hash64(parts: &[&str]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for p in parts {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Stable derived-entry key for one `(request context, extent)` pair.
+/// The context hash covers the schema/views/query *sources* because the
+/// request-local constant interning (and therefore the cached index's
+/// value ids and the rendered answer order) depends on them.
+pub fn derived_key(schema: &str, views: &str, query: &str, fingerprint: &str) -> String {
+    format!("d:{:016x}:{fingerprint}", hash64(&[schema, views, query]))
+}
+
+impl InstanceCache {
+    /// An empty cache mirroring its counters into `registry`.
+    pub fn new(config: CacheConfig, registry: Arc<Registry>) -> InstanceCache {
+        let shards = config.shards.max(1);
+        InstanceCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            config,
+            clock: AtomicU64::new(0),
+            next_handle: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            registry,
+        }
+    }
+
+    /// The sizing this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        &self.shards[(hash64(&[key]) as usize) % self.shards.len()]
+    }
+
+    fn lock(&self, key: &str) -> std::sync::MutexGuard<'_, Shard> {
+        // Cache state stays consistent across a poisoned lock (plain
+        // maps + saturating totals), so recover rather than wedge.
+        match self.shard(key).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn publish_gauges(&self) {
+        self.registry.gauge("cache.entries").set(self.entries.load(Ordering::Relaxed));
+        self.registry.gauge("cache.bytes").set(self.bytes.load(Ordering::Relaxed));
+    }
+
+    /// Registers an extent, returning its fresh handle (`h<seq>`).
+    pub fn put(&self, entry: HandleEntry) -> String {
+        let handle = format!("h{}", self.next_handle.fetch_add(1, Ordering::Relaxed) + 1);
+        let bytes =
+            (entry.schema.len() + entry.extent.len() + entry.fingerprint.len()) as u64;
+        self.insert(handle.clone(), Slot::Handle(entry), bytes);
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter("cache.puts").inc();
+        handle
+    }
+
+    /// Looks up a handle, refreshing its LRU stamp.
+    pub fn get_handle(&self, handle: &str) -> Option<HandleEntry> {
+        let stamp = self.tick();
+        let mut shard = self.lock(handle);
+        let entry = shard.map.get_mut(handle)?;
+        entry.stamp = stamp;
+        match &entry.slot {
+            Slot::Handle(h) => Some(h.clone()),
+            Slot::Index(_) => None, // derived keys are not handles
+        }
+    }
+
+    /// Removes a handle explicitly. Counts as an eviction when it
+    /// existed. (Its derived entries age out via LRU: they are keyed by
+    /// fingerprint, so another live handle may still be using them.)
+    pub fn evict_handle(&self, handle: &str) -> bool {
+        let removed = {
+            let mut shard = self.lock(handle);
+            match shard.map.get(handle) {
+                Some(Entry { slot: Slot::Handle(_), .. }) => shard.map.remove(handle),
+                _ => None,
+            }
+        };
+        match removed {
+            Some(entry) => {
+                self.note_removed(&entry);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.registry.counter("cache.evictions").inc();
+                self.publish_gauges();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fetches a cached derived index, counting a hit or miss.
+    pub fn get_index(&self, key: &str) -> Option<Arc<IndexedInstance>> {
+        let stamp = self.tick();
+        let found = {
+            let mut shard = self.lock(key);
+            shard.map.get_mut(key).and_then(|entry| {
+                entry.stamp = stamp;
+                match &entry.slot {
+                    Slot::Index(idx) => Some(Arc::clone(idx)),
+                    Slot::Handle(_) => None,
+                }
+            })
+        };
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.registry.counter("cache.hits").inc();
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.registry.counter("cache.misses").inc();
+        }
+        found
+    }
+
+    /// Stores a derived index under its [`derived_key`].
+    pub fn insert_index(&self, key: String, index: Arc<IndexedInstance>) {
+        let bytes = index.approx_bytes();
+        self.insert(key, Slot::Index(index), bytes);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheCounters {
+        CacheCounters {
+            entries: self.entries.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_removed(&self, entry: &Entry) {
+        self.entries.fetch_sub(1, Ordering::Relaxed);
+        self.bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
+    }
+
+    fn insert(&self, key: String, slot: Slot, bytes: u64) {
+        let stamp = self.tick();
+        let shards = self.shards.len() as u64;
+        // Per-shard budgets: totals split evenly, at least one entry so
+        // a hot shard can always hold its newest value.
+        let max_entries = (self.config.max_entries as u64 / shards).max(1);
+        let max_bytes = (self.config.max_bytes / shards).max(1);
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.lock(&key);
+            if let Some(old) = shard.map.remove(&key) {
+                self.note_removed(&old);
+            }
+            shard.map.insert(key, Entry { slot, bytes, stamp });
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            self.bytes.fetch_add(bytes, Ordering::Relaxed);
+            // Evict LRU entries until this shard fits its budgets. The
+            // newest entry (max stamp) is never evicted even when it
+            // alone exceeds the byte budget — an oversized instance gets
+            // cached and becomes the next victim instead of thrashing.
+            loop {
+                let shard_bytes: u64 = shard.map.values().map(|e| e.bytes).sum();
+                if shard.map.len() as u64 <= max_entries && shard_bytes <= max_bytes {
+                    break;
+                }
+                let Some(victim) = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(k, _)| k.clone())
+                else {
+                    break;
+                };
+                let is_newest = shard
+                    .map
+                    .get(&victim)
+                    .is_some_and(|e| e.stamp == stamp);
+                if is_newest {
+                    break;
+                }
+                if let Some(old) = shard.map.remove(&victim) {
+                    self.note_removed(&old);
+                    evicted += 1;
+                }
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.registry.counter("cache.evictions").add(evicted);
+        }
+        self.publish_gauges();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqd_instance::{named, Instance, Schema};
+
+    fn cache(config: CacheConfig) -> InstanceCache {
+        InstanceCache::new(config, Arc::new(Registry::new()))
+    }
+
+    fn handle_entry(tag: &str) -> HandleEntry {
+        HandleEntry {
+            schema: "V/2".into(),
+            extent: format!("V({tag},B)."),
+            fingerprint: format!("fp-{tag}"),
+            tuples: 1,
+        }
+    }
+
+    fn small_index(n: u32) -> Arc<IndexedInstance> {
+        let s = Schema::new([("E", 2)]);
+        let mut d = Instance::empty(&s);
+        for i in 0..n {
+            d.insert_named("E", vec![named(i), named(i + 1)]);
+        }
+        IndexedInstance::from_instance(&d).into_shared()
+    }
+
+    #[test]
+    fn put_get_evict_round_trip() {
+        let c = cache(CacheConfig::default());
+        let e = handle_entry("A");
+        let h = c.put(e.clone());
+        assert_eq!(c.get_handle(&h), Some(e));
+        assert!(c.evict_handle(&h));
+        assert_eq!(c.get_handle(&h), None);
+        assert!(!c.evict_handle(&h), "second evict finds nothing");
+        let st = c.stats();
+        assert_eq!(st.puts, 1);
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.entries, 0);
+        assert_eq!(st.bytes, 0);
+    }
+
+    #[test]
+    fn derived_lookups_count_hits_and_misses() {
+        let c = cache(CacheConfig::default());
+        let key = derived_key("E/2", "V(x,y) :- E(x,y).", "Q(x) :- E(x,y).", "fp");
+        assert!(c.get_index(&key).is_none());
+        c.insert_index(key.clone(), small_index(3));
+        assert!(c.get_index(&key).is_some());
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+        assert!(st.bytes > 0);
+    }
+
+    #[test]
+    fn entry_pressure_evicts_least_recently_used() {
+        let c = cache(CacheConfig { shards: 1, max_entries: 2, max_bytes: u64::MAX });
+        let h1 = c.put(handle_entry("A"));
+        let h2 = c.put(handle_entry("B"));
+        assert!(c.get_handle(&h1).is_some()); // refresh h1: h2 is now LRU
+        let h3 = c.put(handle_entry("C"));
+        assert!(c.get_handle(&h2).is_none(), "LRU entry must be evicted");
+        assert!(c.get_handle(&h1).is_some());
+        assert!(c.get_handle(&h3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn byte_pressure_evicts_but_keeps_the_newest() {
+        let big = small_index(64);
+        let budget = big.approx_bytes() + big.approx_bytes() / 2;
+        let c = cache(CacheConfig { shards: 1, max_entries: 1024, max_bytes: budget });
+        c.insert_index("d:1".into(), small_index(64));
+        c.insert_index("d:2".into(), small_index(64)); // over budget: d:1 goes
+        assert!(c.get_index("d:1").is_none());
+        assert!(c.get_index("d:2").is_some());
+        assert!(c.stats().evictions >= 1);
+        assert!(c.stats().bytes <= budget);
+        // An entry larger than the whole budget still lands (and is the
+        // sole survivor) instead of thrashing forever.
+        let c = cache(CacheConfig { shards: 1, max_entries: 1024, max_bytes: 8 });
+        c.insert_index("d:big".into(), small_index(64));
+        assert!(c.get_index("d:big").is_some());
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn derived_keys_separate_contexts_and_fingerprints() {
+        let a = derived_key("E/2", "V(x,y) :- E(x,y).", "Q(x) :- E(x,y).", "fp");
+        let b = derived_key("E/2", "V(x,y) :- E(x,y).", "Q(x,z) :- E(x,z).", "fp");
+        let c = derived_key("E/2", "V(x,y) :- E(x,y).", "Q(x) :- E(x,y).", "fp2");
+        assert_ne!(a, b, "query source is part of the context");
+        assert_ne!(a, c, "fingerprint is part of the key");
+        assert_eq!(a, derived_key("E/2", "V(x,y) :- E(x,y).", "Q(x) :- E(x,y).", "fp"));
+    }
+
+    #[test]
+    fn handles_and_derived_keys_never_cross_resolve() {
+        let c = cache(CacheConfig::default());
+        let h = c.put(handle_entry("A"));
+        assert!(c.get_index(&h).is_none(), "a handle is not a derived index");
+        c.insert_index("d:x".into(), small_index(2));
+        assert!(c.get_handle("d:x").is_none(), "a derived key is not a handle");
+    }
+}

@@ -70,6 +70,13 @@ impl Client {
         self.send(Envelope::new(id, limits, request).with_profile(true))
     }
 
+    /// Like [`Client::call`], but asks the server to attach a span trace
+    /// (JSONL, one span event per line) to the reply's `trace` field.
+    pub fn call_traced(&mut self, limits: Limits, request: Request) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.send(Envelope::new(id, limits, request).with_trace(true))
+    }
+
     fn send(&mut self, envelope: Envelope) -> io::Result<Response> {
         writeln!(self.writer, "{}", envelope.to_json())?;
         self.writer.flush()?;
@@ -107,6 +114,44 @@ impl Client {
                 "unexpected stats reply: {other}"
             ))),
         }
+    }
+
+    /// Registers a view extent in the server's cross-request cache.
+    /// Returns `(handle, fingerprint)` on success.
+    pub fn put_instance(
+        &mut self,
+        schema: impl Into<String>,
+        extent: impl Into<String>,
+    ) -> io::Result<(String, String)> {
+        let request =
+            Request::PutInstance { schema: schema.into(), extent: extent.into() };
+        match self.call(Limits::none(), request)?.outcome {
+            Outcome::InstancePut { handle, fingerprint, .. } => Ok((handle, fingerprint)),
+            Outcome::Error { kind, message } => Err(io::Error::other(format!(
+                "put_instance failed [{}]: {message}",
+                kind.as_str()
+            ))),
+            other => Err(io::Error::other(format!("unexpected put reply: {other}"))),
+        }
+    }
+
+    /// Drops a cached instance handle; `Ok(true)` iff it existed.
+    pub fn evict_instance(&mut self, handle: impl Into<String>) -> io::Result<bool> {
+        let request = Request::EvictInstance { handle: handle.into() };
+        match self.call(Limits::none(), request)?.outcome {
+            Outcome::Evicted { existed, .. } => Ok(existed),
+            Outcome::Error { kind, message } => Err(io::Error::other(format!(
+                "evict_instance failed [{}]: {message}",
+                kind.as_str()
+            ))),
+            other => Err(io::Error::other(format!("unexpected evict reply: {other}"))),
+        }
+    }
+
+    /// Fetches the server's cache counters as the raw outcome (the
+    /// caller matches on [`Outcome::CacheStatsSnapshot`]).
+    pub fn cache_stats(&mut self) -> io::Result<Outcome> {
+        Ok(self.call(Limits::none(), Request::CacheStats)?.outcome)
     }
 
     /// Asks the server to drain and stop; `Ok(true)` iff acknowledged.

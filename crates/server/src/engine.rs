@@ -14,14 +14,19 @@
 // and returned once, so its size is not worth boxing over.
 #![allow(clippy::result_large_err)]
 
+use crate::cache::{derived_key, CacheConfig, HandleEntry, InstanceCache};
 use crate::metrics::Metrics;
 use crate::proto::{ErrorKind, Outcome, Request, WireCounterexample};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 use vqd_budget::{Budget, CancelToken, VqdError};
 use vqd_obs::Registry;
 use vqd_chase::CqViews;
-use vqd_core::certain::certain_sound_budgeted;
+use vqd_core::certain::{
+    canonical_database_budgeted, certain_from_canonical, certain_sound_budgeted,
+};
 use vqd_core::determinacy::{
     check_exhaustive_budgeted, decide_finite_budgeted, decide_unrestricted_budgeted,
     Counterexample, FiniteVerdict, SemanticVerdict,
@@ -42,6 +47,8 @@ pub struct EngineCtx {
     pub registry: Arc<Registry>,
     /// When the server started (drives the uptime gauge).
     pub started: Instant,
+    /// Cross-request instance cache: put handles + derived chases.
+    pub cache: Arc<InstanceCache>,
     /// Tripping this token starts a server drain.
     pub shutdown: CancelToken,
 }
@@ -50,9 +57,16 @@ impl EngineCtx {
     /// A fresh context with its own metrics/registry (used by tests and
     /// embedded setups; [`crate::server::spawn`] builds the real one).
     pub fn new(shutdown: CancelToken) -> EngineCtx {
+        EngineCtx::with_cache_config(shutdown, CacheConfig::default())
+    }
+
+    /// [`EngineCtx::new`] with explicit cache sizing.
+    pub fn with_cache_config(shutdown: CancelToken, cache: CacheConfig) -> EngineCtx {
+        let registry = Arc::new(Registry::new());
         EngineCtx {
             metrics: Arc::new(Metrics::new()),
-            registry: Arc::new(Registry::new()),
+            cache: Arc::new(InstanceCache::new(cache, Arc::clone(&registry))),
+            registry,
             started: Instant::now(),
             shutdown,
         }
@@ -177,6 +191,28 @@ pub fn execute(request: &Request, budget: &Budget, ctx: &EngineCtx) -> Outcome {
         Request::Certain { schema, views, query, extent } => {
             run_certain(schema, views, query, extent, budget)
         }
+        Request::CertainHandle { schema, views, query, handle } => {
+            run_certain_handle(schema, views, query, handle, budget, ctx)
+        }
+        Request::PutInstance { schema, extent } => run_put_instance(schema, extent, ctx),
+        Request::EvictInstance { handle } => Outcome::Evicted {
+            handle: handle.clone(),
+            existed: ctx.cache.evict_handle(handle),
+        },
+        Request::CacheStats => {
+            let s = ctx.cache.stats();
+            let config = ctx.cache.config();
+            Outcome::CacheStatsSnapshot {
+                entries: s.entries,
+                bytes: s.bytes,
+                hits: s.hits,
+                misses: s.misses,
+                evictions: s.evictions,
+                puts: s.puts,
+                max_entries: config.max_entries as u64,
+                max_bytes: config.max_bytes,
+            }
+        }
         Request::Containment { schema, q1, q2, max_domain, space_limit } => {
             run_containment(schema, q1, q2, *max_domain, *space_limit, budget)
         }
@@ -217,6 +253,96 @@ fn run_certain(schema: &str, views: &str, query: &str, extent: &str, budget: &Bu
         Err(e) => return err(ErrorKind::Parse, format!("extent: {e}")),
     };
     match certain_sound_budgeted(&cq_views, &q, &extent, budget) {
+        Ok(rel) => Outcome::CertainAnswers {
+            count: rel.len() as u64,
+            answers: rel.render(&names),
+        },
+        Err(e) => vqd_error(e),
+    }
+}
+
+/// Name-sensitive extent fingerprint. Two extents with equal
+/// fingerprints parse to identical instances under *any* identical
+/// pre-seeded [`DomainNames`]: the fresh-names rendering captures both
+/// the fact set and the first-occurrence order of constants, which is
+/// all request-time interning depends on. That makes the fingerprint
+/// safe to use in [`derived_key`]: equal key ⟹ identical chase ⟹
+/// byte-identical answers.
+fn extent_fingerprint(schema: &str, rendered: &str) -> String {
+    let mut h = DefaultHasher::new();
+    schema.hash(&mut h);
+    rendered.hash(&mut h);
+    format!("{:016x}", h.finish())
+}
+
+fn run_put_instance(schema: &str, extent: &str, ctx: &EngineCtx) -> Outcome {
+    let parsed_schema = match Schema::parse(schema) {
+        Ok(s) => s,
+        Err(e) => return err(ErrorKind::Parse, format!("schema: {e}")),
+    };
+    let mut names = DomainNames::new();
+    let instance = match parse_instance(&parsed_schema, &mut names, extent) {
+        Ok(i) => i,
+        Err(e) => return err(ErrorKind::Parse, format!("extent: {e}")),
+    };
+    let fingerprint = extent_fingerprint(schema, &instance.render(&names));
+    let tuples = instance.total_tuples() as u64;
+    let handle = ctx.cache.put(HandleEntry {
+        schema: schema.to_owned(),
+        extent: extent.to_owned(),
+        fingerprint: fingerprint.clone(),
+        tuples,
+    });
+    Outcome::InstancePut { handle, fingerprint, tuples }
+}
+
+/// [`run_certain`] with the extent read from the cache. A hit on the
+/// derived entry evaluates over the cached canonical database with zero
+/// index builds; a miss chases once and caches the result for the next
+/// request with the same (schema, views, query, extent) key. Both paths
+/// render through the same request-local names, so the reply is
+/// byte-identical to the inline form modulo the work envelope.
+fn run_certain_handle(
+    schema: &str,
+    views: &str,
+    query: &str,
+    handle: &str,
+    budget: &Budget,
+    ctx: &EngineCtx,
+) -> Outcome {
+    let Some(entry) = ctx.cache.get_handle(handle) else {
+        return err(
+            ErrorKind::UnknownHandle,
+            format!("unknown instance handle `{handle}` (never put, or evicted): re-put and retry"),
+        );
+    };
+    let pair = match parse_pair(schema, views, query) {
+        Ok(p) => p,
+        Err(o) => return o,
+    };
+    let (cq_views, q) = match require_cq(&pair) {
+        Ok(v) => v,
+        Err(o) => return o,
+    };
+    let mut names = pair.names;
+    let extent =
+        match parse_instance(cq_views.as_view_set().output_schema(), &mut names, &entry.extent) {
+            Ok(i) => i,
+            Err(e) => return err(ErrorKind::Parse, format!("extent (handle {handle}): {e}")),
+        };
+    let key = derived_key(schema, views, query, &entry.fingerprint);
+    let answers = match ctx.cache.get_index(&key) {
+        Some(chased) => certain_from_canonical(&q, &chased, budget),
+        None => match canonical_database_budgeted(&cq_views, &extent, budget) {
+            Ok(chased) => {
+                let shared = chased.into_shared();
+                ctx.cache.insert_index(key, Arc::clone(&shared));
+                certain_from_canonical(&q, &shared, budget)
+            }
+            Err(e) => return vqd_error(e),
+        },
+    };
+    match answers {
         Ok(rel) => Outcome::CertainAnswers {
             count: rel.len() as u64,
             answers: rel.render(&names),
@@ -520,6 +646,65 @@ mod tests {
             }
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    #[test]
+    fn handle_extents_answer_identically_to_inline_and_then_hit() {
+        let c = ctx();
+        let put = execute(
+            &Request::PutInstance { schema: "V/2".into(), extent: "V(A,B). V(B,C).".into() },
+            &Budget::unlimited(),
+            &c,
+        );
+        let Outcome::InstancePut { handle, tuples: 2, .. } = put else {
+            panic!("unexpected put outcome {put:?}");
+        };
+        let certain = |extent_handle: Option<&str>| match extent_handle {
+            None => Request::Certain {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,y).".into(),
+                query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+                extent: "V(A,B). V(B,C).".into(),
+            },
+            Some(h) => Request::CertainHandle {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,y).".into(),
+                query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+                handle: h.into(),
+            },
+        };
+        let inline = execute(&certain(None), &Budget::unlimited(), &c);
+        let miss = execute(&certain(Some(&handle)), &Budget::unlimited(), &c);
+        let hit = execute(&certain(Some(&handle)), &Budget::unlimited(), &c);
+        assert_eq!(inline, miss, "handle answers must match inline answers");
+        assert_eq!(miss, hit, "cache hits must not change the verdict");
+        let stats = c.cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn unknown_handles_are_typed_errors_and_evict_reports_absence() {
+        let c = ctx();
+        let out = execute(
+            &Request::CertainHandle {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,y).".into(),
+                query: "Q(x) :- E(x,y).".into(),
+                handle: "h999".into(),
+            },
+            &Budget::unlimited(),
+            &c,
+        );
+        assert!(
+            matches!(out, Outcome::Error { kind: ErrorKind::UnknownHandle, .. }),
+            "got {out:?}"
+        );
+        let out = execute(
+            &Request::EvictInstance { handle: "h999".into() },
+            &Budget::unlimited(),
+            &c,
+        );
+        assert_eq!(out, Outcome::Evicted { handle: "h999".into(), existed: false });
     }
 
     #[test]

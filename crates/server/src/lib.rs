@@ -17,6 +17,11 @@
 //! * **graceful shutdown**: a shared [`vqd_budget::CancelToken`] drains
 //!   in-flight work (canceled budgets report what was done) and joins
 //!   every thread;
+//! * **cross-request cache** ([`cache`]): `put_instance` registers a
+//!   view extent and returns a handle; later `certain_sound` requests
+//!   pass `{"handle": ...}` as the extent and reuse the cached chased
+//!   index across requests — repeat requests report zero index builds
+//!   with byte-identical answers;
 //! * **client library** ([`client`]): a blocking [`Client`] for tests,
 //!   the CLI, and the `loadgen` bench.
 //!
@@ -43,6 +48,7 @@
 //! handle.shutdown();
 //! ```
 
+pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod metrics;
@@ -50,6 +56,7 @@ pub mod pool;
 pub mod proto;
 pub mod server;
 
+pub use cache::{CacheConfig, CacheCounters, HandleEntry, InstanceCache};
 pub use client::Client;
 pub use metrics::Metrics;
 pub use pool::{Pool, QueueHandle, SubmitError};

@@ -192,6 +192,14 @@ fn run_job(job: Job, ctx: &EngineCtx) {
     // Workers serve one job at a time, so diffing the thread-local engine
     // counters around `execute` attributes exactly this request's work —
     // a snapshot *delta*, never the absolute (still-growing) totals.
+    if envelope.trace {
+        // Scope tracing to this job via the worker's thread-local
+        // override, and discard whatever a previous (untraced or
+        // crashed) job left in this thread's span ring.
+        vqd_obs::set_thread_tracing(true);
+        let _ = vqd_obs::drain_spans();
+        let _ = vqd_obs::dropped_spans();
+    }
     let before = MetricsSnapshot::capture();
     let started = std::time::Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -219,6 +227,11 @@ fn run_job(job: Job, ctx: &EngineCtx) {
     let mut response = Response::new(envelope.id.clone(), outcome, work);
     if envelope.profile {
         response = response.with_profile(profile);
+    }
+    if envelope.trace {
+        vqd_obs::set_thread_tracing(false);
+        let events = vqd_obs::drain_spans();
+        response = response.with_trace(vqd_obs::spans_to_jsonl(&events));
     }
     // The connection may have hung up; a dead reply channel is fine.
     let _ = reply.send(response);

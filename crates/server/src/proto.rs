@@ -100,6 +100,38 @@ pub enum Request {
         /// Ground facts over the *view output* schema, e.g. `"V(a,b)."`.
         extent: String,
     },
+    /// [`Request::Certain`] whose extent is a cached instance handle
+    /// (from [`Request::PutInstance`]) instead of inline facts. Same
+    /// wire op: the `extent` field carries `{"handle": "..."}` instead
+    /// of a string, so v1 servers reject it cleanly as a protocol error
+    /// and v1 clients never produce it.
+    CertainHandle {
+        /// Schema spec.
+        schema: String,
+        /// View definitions.
+        views: String,
+        /// The query.
+        query: String,
+        /// Handle returned by a prior `put_instance`.
+        handle: String,
+    },
+    /// Registers a view extent in the server's cross-request cache and
+    /// returns a handle naming it. The handle is a cache reference, not
+    /// a lease: it may be evicted under pressure, and later requests
+    /// then fail with [`ErrorKind::UnknownHandle`] (re-put to recover).
+    PutInstance {
+        /// Schema spec for the *view output* schema the facts live in.
+        schema: String,
+        /// Ground facts, e.g. `"V(a,b). V(b,c)."`.
+        extent: String,
+    },
+    /// Drops a cached instance handle.
+    EvictInstance {
+        /// Handle returned by a prior `put_instance`.
+        handle: String,
+    },
+    /// Snapshot of the cross-request cache counters.
+    CacheStats,
     /// Bounded semantic containment `q1 ⊆ q2` by exhaustive search.
     Containment {
         /// Schema spec.
@@ -153,7 +185,10 @@ impl Request {
             Request::Ping => "ping",
             Request::Decide { .. } => "decide_unrestricted",
             Request::Rewrite { .. } => "rewrite",
-            Request::Certain { .. } => "certain_sound",
+            Request::Certain { .. } | Request::CertainHandle { .. } => "certain_sound",
+            Request::PutInstance { .. } => "put_instance",
+            Request::EvictInstance { .. } => "evict_instance",
+            Request::CacheStats => "cache_stats",
             Request::Containment { .. } => "containment",
             Request::Finite { .. } => "decide_finite",
             Request::Semantic { .. } => "check_exhaustive",
@@ -176,6 +211,10 @@ pub struct Envelope {
     /// counter deltas) to the reply. Additive: absent on the wire means
     /// `false`, so v1 peers interoperate unchanged.
     pub profile: bool,
+    /// Ask the server to record span events while executing this
+    /// request and attach them to the reply as JSONL. Additive like
+    /// `profile`: absent on the wire means `false`.
+    pub trace: bool,
     /// The operation.
     pub request: Request,
 }
@@ -183,12 +222,25 @@ pub struct Envelope {
 impl Envelope {
     /// Wraps a request in a current-version envelope.
     pub fn new(id: impl Into<String>, limits: Limits, request: Request) -> Envelope {
-        Envelope { version: PROTOCOL_VERSION, id: id.into(), limits, profile: false, request }
+        Envelope {
+            version: PROTOCOL_VERSION,
+            id: id.into(),
+            limits,
+            profile: false,
+            trace: false,
+            request,
+        }
     }
 
     /// Requests a per-request execution profile in the reply.
     pub fn with_profile(mut self, profile: bool) -> Envelope {
         self.profile = profile;
+        self
+    }
+
+    /// Requests a span trace of the execution in the reply.
+    pub fn with_trace(mut self, trace: bool) -> Envelope {
+        self.trace = trace;
         self
     }
 }
@@ -236,6 +288,9 @@ pub enum ErrorKind {
     SchemaMismatch,
     /// The operation is not supported by this server.
     Unsupported,
+    /// The named instance handle is not in the cache (never existed, or
+    /// was evicted). Recoverable: `put_instance` again and retry.
+    UnknownHandle,
     /// The request died inside the engine (a bug server-side; the worker
     /// survived and the connection stays usable).
     Internal,
@@ -251,6 +306,7 @@ impl ErrorKind {
             ErrorKind::InvalidInput => "invalid-input",
             ErrorKind::SchemaMismatch => "schema-mismatch",
             ErrorKind::Unsupported => "unsupported",
+            ErrorKind::UnknownHandle => "unknown-handle",
             ErrorKind::Internal => "internal",
         }
     }
@@ -264,6 +320,7 @@ impl ErrorKind {
             "invalid-input" => ErrorKind::InvalidInput,
             "schema-mismatch" => ErrorKind::SchemaMismatch,
             "unsupported" => ErrorKind::Unsupported,
+            "unknown-handle" => ErrorKind::UnknownHandle,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -337,6 +394,42 @@ pub enum Outcome {
         answers: String,
         /// Number of certain tuples.
         count: u64,
+    },
+    /// Reply to [`Request::PutInstance`]: the extent is cached.
+    InstancePut {
+        /// Cache handle to pass as `{"handle": ...}` extents.
+        handle: String,
+        /// Fingerprint of the registered extent: equal fingerprints
+        /// (under one schema/views/query context) share cached chases.
+        fingerprint: String,
+        /// Ground tuples registered.
+        tuples: u64,
+    },
+    /// Reply to [`Request::EvictInstance`].
+    Evicted {
+        /// The handle that was asked about.
+        handle: String,
+        /// Whether it was present (and is now gone).
+        existed: bool,
+    },
+    /// Reply to [`Request::CacheStats`].
+    CacheStatsSnapshot {
+        /// Live cache entries (handles + derived indexes).
+        entries: u64,
+        /// Approximate bytes held.
+        bytes: u64,
+        /// Derived-index hits.
+        hits: u64,
+        /// Derived-index misses.
+        misses: u64,
+        /// Entries evicted (LRU pressure + explicit).
+        evictions: u64,
+        /// `put_instance` registrations served.
+        puts: u64,
+        /// Configured entry cap.
+        max_entries: u64,
+        /// Configured byte cap.
+        max_bytes: u64,
     },
     /// Verdict of the bounded containment check.
     Contained {
@@ -429,17 +522,33 @@ pub struct Response {
     /// Per-request execution profile: engine counter deltas attributable
     /// to this request alone. Present only when the envelope asked for it.
     pub profile: Option<MetricsSnapshot>,
+    /// Span events recorded while executing this request, as JSONL (one
+    /// span per line). Present only when the envelope set `trace`.
+    pub trace: Option<String>,
 }
 
 impl Response {
     /// Builds a current-version response.
     pub fn new(id: impl Into<String>, outcome: Outcome, work: WireStats) -> Response {
-        Response { version: PROTOCOL_VERSION, id: id.into(), outcome, work, profile: None }
+        Response {
+            version: PROTOCOL_VERSION,
+            id: id.into(),
+            outcome,
+            work,
+            profile: None,
+            trace: None,
+        }
     }
 
     /// Attaches a per-request execution profile.
     pub fn with_profile(mut self, profile: MetricsSnapshot) -> Response {
         self.profile = Some(profile);
+        self
+    }
+
+    /// Attaches a span trace (JSONL).
+    pub fn with_trace(mut self, trace: impl Into<String>) -> Response {
+        self.trace = Some(trace.into());
         self
     }
 
@@ -489,6 +598,23 @@ impl Envelope {
                 s("query", query);
                 s("extent", extent);
             }
+            Request::CertainHandle { schema, views, query, handle } => {
+                s("schema", schema);
+                s("views", views);
+                s("query", query);
+                req.push((
+                    "extent".to_owned(),
+                    Value::object([("handle", Value::from(handle.clone()))]),
+                ));
+            }
+            Request::PutInstance { schema, extent } => {
+                s("schema", schema);
+                s("extent", extent);
+            }
+            Request::EvictInstance { handle } => {
+                s("handle", handle);
+            }
+            Request::CacheStats => {}
             Request::Containment { schema, q1, q2, max_domain, space_limit } => {
                 s("schema", schema);
                 s("q1", q1);
@@ -521,6 +647,9 @@ impl Envelope {
         if self.profile {
             obj.push(("profile".to_owned(), Value::from(true)));
         }
+        if self.trace {
+            obj.push(("trace".to_owned(), Value::from(true)));
+        }
         obj.push(("request".to_owned(), Value::Obj(req)));
         Value::Obj(obj)
     }
@@ -549,6 +678,7 @@ impl Envelope {
             tuple_limit: v.get("tuple_limit").and_then(Value::as_u64),
         };
         let profile = v.get("profile").and_then(Value::as_bool).unwrap_or(false);
+        let trace = v.get("trace").and_then(Value::as_bool).unwrap_or(false);
         let Some(req) = v.get("request") else {
             return fail(ErrorKind::Protocol, "missing `request`");
         };
@@ -589,12 +719,31 @@ impl Envelope {
                 views: text("views")?,
                 query: text("query")?,
             },
-            "certain_sound" => Request::Certain {
+            "certain_sound" => {
+                // The `extent` field is either inline facts (a string,
+                // the v1 form) or a handle reference (an object).
+                match req.get("extent").and_then(|e| e.get("handle")).and_then(Value::as_str)
+                {
+                    Some(handle) => Request::CertainHandle {
+                        schema: text("schema")?,
+                        views: text("views")?,
+                        query: text("query")?,
+                        handle: handle.to_owned(),
+                    },
+                    None => Request::Certain {
+                        schema: text("schema")?,
+                        views: text("views")?,
+                        query: text("query")?,
+                        extent: text("extent")?,
+                    },
+                }
+            }
+            "put_instance" => Request::PutInstance {
                 schema: text("schema")?,
-                views: text("views")?,
-                query: text("query")?,
                 extent: text("extent")?,
             },
+            "evict_instance" => Request::EvictInstance { handle: text("handle")? },
+            "cache_stats" => Request::CacheStats,
             "containment" => Request::Containment {
                 schema: text("schema")?,
                 q1: text("q1")?,
@@ -620,7 +769,7 @@ impl Envelope {
                 return fail(ErrorKind::Unsupported, &format!("unknown op `{other}`"));
             }
         };
-        Ok(Envelope { version, id, limits, profile, request })
+        Ok(Envelope { version, id, limits, profile, trace, request })
     }
 
     /// Parses an envelope from one wire line.
@@ -672,6 +821,41 @@ impl Response {
                 result.push(("answers".to_owned(), Value::from(answers.clone())));
                 result.push(("count".to_owned(), Value::from(*count)));
                 "certain"
+            }
+            Outcome::InstancePut { handle, fingerprint, tuples } => {
+                result.push(("handle".to_owned(), Value::from(handle.clone())));
+                result.push(("fingerprint".to_owned(), Value::from(fingerprint.clone())));
+                result.push(("tuples".to_owned(), Value::from(*tuples)));
+                "put"
+            }
+            Outcome::Evicted { handle, existed } => {
+                result.push(("handle".to_owned(), Value::from(handle.clone())));
+                result.push(("existed".to_owned(), Value::from(*existed)));
+                "evicted"
+            }
+            Outcome::CacheStatsSnapshot {
+                entries,
+                bytes,
+                hits,
+                misses,
+                evictions,
+                puts,
+                max_entries,
+                max_bytes,
+            } => {
+                for (k, v) in [
+                    ("entries", *entries),
+                    ("bytes", *bytes),
+                    ("hits", *hits),
+                    ("misses", *misses),
+                    ("evictions", *evictions),
+                    ("puts", *puts),
+                    ("max_entries", *max_entries),
+                    ("max_bytes", *max_bytes),
+                ] {
+                    result.push((k.to_owned(), Value::from(v)));
+                }
+                "cache-stats"
             }
             Outcome::Contained { verdict, bound, witness } => {
                 result.push(("verdict".to_owned(), Value::from(verdict.clone())));
@@ -750,6 +934,9 @@ impl Response {
         if let Some(p) = &self.profile {
             obj.push(("profile".to_owned(), p.to_json()));
         }
+        if let Some(t) = &self.trace {
+            obj.push(("trace".to_owned(), Value::from(t.clone())));
+        }
         obj.push(("result".to_owned(), Value::Obj(result)));
         Value::Obj(obj)
     }
@@ -798,6 +985,28 @@ impl Response {
                 answers: text("answers")?,
                 count: r.get("count").and_then(Value::as_u64).unwrap_or(0),
             },
+            "put" => Outcome::InstancePut {
+                handle: text("handle")?,
+                fingerprint: text("fingerprint")?,
+                tuples: r.get("tuples").and_then(Value::as_u64).unwrap_or(0),
+            },
+            "evicted" => Outcome::Evicted {
+                handle: text("handle")?,
+                existed: r.get("existed").and_then(Value::as_bool).unwrap_or(false),
+            },
+            "cache-stats" => {
+                let g = |k: &str| r.get(k).and_then(Value::as_u64).unwrap_or(0);
+                Outcome::CacheStatsSnapshot {
+                    entries: g("entries"),
+                    bytes: g("bytes"),
+                    hits: g("hits"),
+                    misses: g("misses"),
+                    evictions: g("evictions"),
+                    puts: g("puts"),
+                    max_entries: g("max_entries"),
+                    max_bytes: g("max_bytes"),
+                }
+            }
             "containment" => Outcome::Contained {
                 verdict: text("verdict")?,
                 bound: r.get("bound").and_then(Value::as_u64),
@@ -855,7 +1064,8 @@ impl Response {
             other => return Err(format!("unknown result kind `{other}`")),
         };
         let profile = v.get("profile").and_then(MetricsSnapshot::from_json);
-        Ok(Response { version, id, outcome, work, profile })
+        let trace = v.get("trace").and_then(Value::as_str).map(str::to_owned);
+        Ok(Response { version, id, outcome, work, profile, trace })
     }
 
     /// Parses a response from one wire line.
@@ -888,6 +1098,29 @@ impl std::fmt::Display for Outcome {
             }
             Outcome::CertainAnswers { answers, count } => {
                 write!(f, "certain answers ({count}): {answers}")
+            }
+            Outcome::InstancePut { handle, fingerprint, tuples } => {
+                write!(f, "put: handle {handle} ({tuples} tuples, fingerprint {fingerprint})")
+            }
+            Outcome::Evicted { handle, existed: true } => write!(f, "evicted {handle}"),
+            Outcome::Evicted { handle, existed: false } => {
+                write!(f, "handle {handle} was not cached")
+            }
+            Outcome::CacheStatsSnapshot {
+                entries,
+                bytes,
+                hits,
+                misses,
+                evictions,
+                puts,
+                max_entries,
+                max_bytes,
+            } => {
+                write!(
+                    f,
+                    "cache: {entries}/{max_entries} entries, {bytes}/{max_bytes} bytes | \
+                     hits {hits} | misses {misses} | evictions {evictions} | puts {puts}"
+                )
             }
             Outcome::Contained { verdict, bound, witness } => {
                 write!(f, "containment: {verdict}")?;
@@ -1031,12 +1264,68 @@ mod tests {
         round_trip_envelope(Envelope::new("s", Limits::none(), Request::Stats));
         round_trip_envelope(Envelope::new("x", Limits::none(), Request::Shutdown));
         round_trip_envelope(Envelope::new("p", Limits::none(), Request::Ping).with_profile(true));
+        round_trip_envelope(Envelope::new("t", Limits::none(), Request::Ping).with_trace(true));
+        round_trip_envelope(Envelope::new(
+            "h",
+            Limits::none(),
+            Request::CertainHandle {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,y).".into(),
+                query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+                handle: "h42".into(),
+            },
+        ));
+        round_trip_envelope(Envelope::new(
+            "put",
+            Limits::none(),
+            Request::PutInstance { schema: "V/2".into(), extent: "V(a,b).".into() },
+        ));
+        round_trip_envelope(Envelope::new(
+            "ev",
+            Limits::none(),
+            Request::EvictInstance { handle: "h42".into() },
+        ));
+        round_trip_envelope(Envelope::new("cs", Limits::none(), Request::CacheStats));
     }
 
     #[test]
     fn absent_profile_flag_decodes_as_false() {
         let e = Envelope::from_line(r#"{"v":1,"id":"x","request":{"op":"ping"}}"#).unwrap();
         assert!(!e.profile);
+    }
+
+    #[test]
+    fn absent_trace_flag_decodes_as_false() {
+        let e = Envelope::from_line(r#"{"v":1,"id":"x","request":{"op":"ping"}}"#).unwrap();
+        assert!(!e.trace);
+    }
+
+    #[test]
+    fn certain_extent_forms_share_one_op() {
+        // Inline string extent: the v1 form.
+        let inline = Envelope::from_line(
+            r#"{"v":1,"id":"a","request":{"op":"certain_sound","schema":"E/2",
+                "views":"V(x,y) :- E(x,y).","query":"Q(x) :- E(x,y).","extent":"V(a,b)."}}"#,
+        )
+        .unwrap();
+        assert!(matches!(inline.request, Request::Certain { .. }));
+        // Handle-object extent: the session form, same wire op.
+        let by_handle = Envelope::from_line(
+            r#"{"v":1,"id":"b","request":{"op":"certain_sound","schema":"E/2",
+                "views":"V(x,y) :- E(x,y).","query":"Q(x) :- E(x,y).",
+                "extent":{"handle":"h7"}}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            by_handle.request,
+            Request::CertainHandle {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,y).".into(),
+                query: "Q(x) :- E(x,y).".into(),
+                handle: "h7".into(),
+            }
+        );
+        assert_eq!(inline.request.op(), by_handle.request.op());
     }
 
     fn round_trip_response(r: Response) {
@@ -1088,6 +1377,39 @@ mod tests {
             work,
         ));
         round_trip_response(Response::error("6", ErrorKind::Parse, "bad query"));
+        round_trip_response(Response::error("6b", ErrorKind::UnknownHandle, "no such handle"));
+        round_trip_response(Response::new(
+            "p1",
+            Outcome::InstancePut {
+                handle: "h3".into(),
+                fingerprint: "ab12".into(),
+                tuples: 7,
+            },
+            WireStats::default(),
+        ));
+        round_trip_response(Response::new(
+            "e1",
+            Outcome::Evicted { handle: "h3".into(), existed: true },
+            WireStats::default(),
+        ));
+        round_trip_response(Response::new(
+            "c1",
+            Outcome::CacheStatsSnapshot {
+                entries: 2,
+                bytes: 4096,
+                hits: 5,
+                misses: 1,
+                evictions: 0,
+                puts: 2,
+                max_entries: 128,
+                max_bytes: 64 << 20,
+            },
+            WireStats::default(),
+        ));
+        round_trip_response(
+            Response::new("t1", Outcome::Pong, work)
+                .with_trace("{\"name\":\"chase.round\"}"),
+        );
         let registry_sample = {
             let reg = vqd_obs::Registry::new();
             reg.counter("op.ping.requests").add(3);

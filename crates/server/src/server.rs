@@ -19,6 +19,7 @@
 //! degrades to structured `exhausted (canceled)` replies carrying
 //! partial progress — then joins every thread.
 
+use crate::cache::{CacheConfig, InstanceCache};
 use crate::engine::EngineCtx;
 use crate::metrics::Metrics;
 use crate::pool::{Job, Pool, QueueHandle, SubmitError};
@@ -42,6 +43,10 @@ pub struct ServerCaps {
     pub max_steps: Option<u64>,
     /// Hard tuple cap per request (`None` = deadline-only).
     pub max_tuples: Option<u64>,
+    /// Cross-request instance cache sizing. Lives here (not in
+    /// [`ServerConfig`]) so existing `ServerConfig` literals written
+    /// against v1 keep compiling via `ServerCaps::default()`.
+    pub cache: CacheConfig,
 }
 
 impl Default for ServerCaps {
@@ -50,6 +55,7 @@ impl Default for ServerCaps {
             max_deadline: Duration::from_secs(10),
             max_steps: None,
             max_tuples: None,
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -206,6 +212,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     });
     let ctx = EngineCtx {
         metrics: Arc::clone(&metrics),
+        cache: Arc::new(InstanceCache::new(config.caps.cache, Arc::clone(&registry))),
         registry,
         started: std::time::Instant::now(),
         shutdown: shared.shutdown_token(),
@@ -359,6 +366,7 @@ mod tests {
                 max_deadline: Duration::from_secs(2),
                 max_steps: Some(1000),
                 max_tuples: None,
+                cache: CacheConfig::default(),
             },
             metrics: Arc::new(Metrics::new()),
             registry: Arc::new(vqd_obs::Registry::new()),

@@ -8,12 +8,16 @@
 //!
 //! vqd-cli serve   [--addr 127.0.0.1:7471] [--workers 4] [--queue-depth 64]
 //!                 [--max-deadline-ms 10000] [--max-steps N] [--max-tuples N]
+//!                 [--cache-entries N] [--cache-bytes N]
 //!
 //! vqd-cli request [--addr 127.0.0.1:7471] --op decide \
 //!                 --schema "E/2" --views "..." --query "..." \
+//!                 [--extent E | --handle H] \
 //!                 [--deadline-ms N] [--step-limit N] [--tuple-limit N] \
-//!                 [--profile]
+//!                 [--profile] [--trace]
 //!
+//! vqd-cli put     [--addr 127.0.0.1:7471] --schema "V/2" --extent "V(a,b)."
+//! vqd-cli evict   [--addr 127.0.0.1:7471] --handle h1
 //! vqd-cli stats   [--addr 127.0.0.1:7471]
 //! ```
 //!
@@ -23,7 +27,12 @@
 //! request arrives; `request` issues one request against a running
 //! server and exits 0 on `ok`, 3 on `error`, 4 on `exhausted`, and 5 on
 //! `overloaded`. `--profile` additionally prints the request's engine
-//! counter deltas (chase rounds, hom-search candidates, …); `stats`
+//! counter deltas (chase rounds, hom-search candidates, …); `--trace`
+//! prints the request's span events (JSONL). `put` registers a view
+//! extent in the server's cross-request cache and prints the handle to
+//! use with `request --op certain --handle H` (repeat requests reuse
+//! the cached chased index: `index_builds 0`); `evict` drops it;
+//! `request --op cache_stats` shows hit/miss/eviction counters. `stats`
 //! prints the server-wide registry: per-op request counts and latency
 //! histograms, queue high-water mark, uptime.
 
@@ -34,7 +43,7 @@ use vqd::instance::{DomainNames, Schema};
 use vqd::query::{parse_program, parse_query, CqLang, QueryExpr, ViewSet};
 use vqd::server::{self, Client, Limits, Outcome, Request, ServerCaps, ServerConfig};
 
-const USAGE: &str = "usage: vqd-cli <analyze|serve|request|stats> [flags] \
+const USAGE: &str = "usage: vqd-cli <analyze|serve|request|put|evict|stats> [flags] \
                      (see `vqd-cli <subcommand> --help`)";
 
 fn die(msg: &str) -> ! {
@@ -53,6 +62,8 @@ fn main() {
         Some("analyze") => cmd_analyze(&argv[1..]),
         Some("serve") => cmd_serve(&argv[1..]),
         Some("request") => cmd_request(&argv[1..]),
+        Some("put") => cmd_put(&argv[1..]),
+        Some("evict") => cmd_evict(&argv[1..]),
         Some("stats") => cmd_stats(&argv[1..]),
         // Original flag-only invocation: treat as `analyze`.
         Some(flag) if flag.starts_with("--") => cmd_analyze(&argv),
@@ -224,7 +235,8 @@ fn cmd_analyze(argv: &[String]) {
 fn serve_usage() -> ! {
     eprintln!(
         "usage: vqd-cli serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--max-deadline-ms N] [--max-steps N] [--max-tuples N]"
+         [--max-deadline-ms N] [--max-steps N] [--max-tuples N] \
+         [--cache-entries N] [--cache-bytes N]"
     );
     std::process::exit(2)
 }
@@ -243,6 +255,8 @@ fn cmd_serve(argv: &[String]) {
             }
             "--max-steps" => caps.max_steps = Some(num_of(&mut it, flag)),
             "--max-tuples" => caps.max_tuples = Some(num_of(&mut it, flag)),
+            "--cache-entries" => caps.cache.max_entries = num_of(&mut it, flag),
+            "--cache-bytes" => caps.cache.max_bytes = num_of(&mut it, flag),
             "--help" | "-h" => serve_usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -273,10 +287,11 @@ fn cmd_serve(argv: &[String]) {
 fn request_usage() -> ! {
     eprintln!(
         "usage: vqd-cli request [--addr HOST:PORT] --op \
-         <ping|decide|rewrite|certain|containment|finite|semantic|stats|shutdown> \
-         [--schema S] [--views V] [--query Q] [--extent E] [--q1 Q] [--q2 Q] \
-         [--max-domain N] [--domain N] [--space-limit N] \
-         [--deadline-ms N] [--step-limit N] [--tuple-limit N] [--profile]"
+         <ping|decide|rewrite|certain|containment|finite|semantic|put_instance|\
+         evict_instance|cache_stats|stats|shutdown> \
+         [--schema S] [--views V] [--query Q] [--extent E | --handle H] \
+         [--q1 Q] [--q2 Q] [--max-domain N] [--domain N] [--space-limit N] \
+         [--deadline-ms N] [--step-limit N] [--tuple-limit N] [--profile] [--trace]"
     );
     std::process::exit(2)
 }
@@ -288,6 +303,7 @@ fn cmd_request(argv: &[String]) {
     let mut views = String::new();
     let mut query = String::new();
     let mut extent = String::new();
+    let mut handle = String::new();
     let mut q1 = String::new();
     let mut q2 = String::new();
     let mut max_domain = 3u64;
@@ -295,16 +311,19 @@ fn cmd_request(argv: &[String]) {
     let mut space_limit = 1u64 << 22;
     let mut limits = Limits::none();
     let mut profile = false;
+    let mut trace = false;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--addr" => addr = value_of(&mut it, flag),
             "--profile" => profile = true,
+            "--trace" => trace = true,
             "--op" => op = Some(value_of(&mut it, flag)),
             "--schema" => schema = load(&value_of(&mut it, flag)),
             "--views" => views = load(&value_of(&mut it, flag)),
             "--query" => query = load(&value_of(&mut it, flag)),
             "--extent" => extent = load(&value_of(&mut it, flag)),
+            "--handle" => handle = value_of(&mut it, flag),
             "--q1" => q1 = load(&value_of(&mut it, flag)),
             "--q2" => q2 = load(&value_of(&mut it, flag)),
             "--max-domain" => max_domain = num_of(&mut it, flag),
@@ -329,7 +348,13 @@ fn cmd_request(argv: &[String]) {
             Request::Decide { schema, views, query }
         }
         "rewrite" => Request::Rewrite { schema, views, query },
+        "certain" | "certain_sound" if !handle.is_empty() => {
+            Request::CertainHandle { schema, views, query, handle }
+        }
         "certain" | "certain_sound" => Request::Certain { schema, views, query, extent },
+        "put" | "put_instance" => Request::PutInstance { schema, extent },
+        "evict" | "evict_instance" => Request::EvictInstance { handle },
+        "cache_stats" | "cache-stats" => Request::CacheStats,
         "containment" => Request::Containment { schema, q1, q2, max_domain, space_limit },
         "finite" | "decide_finite" => {
             Request::Finite { schema, views, query, max_domain, space_limit }
@@ -343,15 +368,15 @@ fn cmd_request(argv: &[String]) {
         eprintln!("cannot connect to {addr}: {e}");
         std::process::exit(1)
     });
-    let response = if profile {
-        client.call_profiled(limits, request)
-    } else {
-        client.call(limits, request)
-    }
-    .unwrap_or_else(|e| {
-        eprintln!("request failed: {e}");
-        std::process::exit(1)
-    });
+    let envelope = server::Envelope::new("cli", limits, request)
+        .with_profile(profile)
+        .with_trace(trace);
+    let response = client
+        .call_raw(&envelope.to_json().to_string())
+        .unwrap_or_else(|e| {
+            eprintln!("request failed: {e}");
+            std::process::exit(1)
+        });
     println!("{}", response.outcome);
     println!(
         "[{} steps, {} tuples, {} ms server-side]",
@@ -370,6 +395,14 @@ fn cmd_request(argv: &[String]) {
             println!("(no engine counters moved)");
         }
     }
+    if let Some(t) = &response.trace {
+        println!("--- span trace (JSONL) ---");
+        if t.is_empty() {
+            println!("(no spans recorded)");
+        } else {
+            println!("{t}");
+        }
+    }
     let code = match &response.outcome {
         Outcome::Error { .. } => 3,
         Outcome::Exhausted { .. } => 4,
@@ -377,6 +410,84 @@ fn cmd_request(argv: &[String]) {
         _ => 0,
     };
     std::process::exit(code);
+}
+
+// ---------------------------------------------------------------------
+// `put` / `evict`
+// ---------------------------------------------------------------------
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1)
+    })
+}
+
+fn cmd_put(argv: &[String]) {
+    let mut addr = "127.0.0.1:7471".to_owned();
+    let mut schema = String::new();
+    let mut extent = String::new();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value_of(&mut it, flag),
+            "--schema" => schema = load(&value_of(&mut it, flag)),
+            "--extent" => extent = load(&value_of(&mut it, flag)),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: vqd-cli put [--addr HOST:PORT] --schema \"V/2\" \
+                     --extent \"<facts or @file>\""
+                );
+                std::process::exit(2)
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    if schema.is_empty() || extent.is_empty() {
+        die("`put` needs --schema and --extent");
+    }
+    let response = connect(&addr)
+        .call(Limits::none(), Request::PutInstance { schema, extent })
+        .unwrap_or_else(|e| {
+            eprintln!("put failed: {e}");
+            std::process::exit(1)
+        });
+    println!("{}", response.outcome);
+    std::process::exit(match &response.outcome {
+        Outcome::InstancePut { .. } => 0,
+        _ => 3,
+    });
+}
+
+fn cmd_evict(argv: &[String]) {
+    let mut addr = "127.0.0.1:7471".to_owned();
+    let mut handle = String::new();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value_of(&mut it, flag),
+            "--handle" => handle = value_of(&mut it, flag),
+            "--help" | "-h" => {
+                eprintln!("usage: vqd-cli evict [--addr HOST:PORT] --handle H");
+                std::process::exit(2)
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    if handle.is_empty() {
+        die("`evict` needs --handle");
+    }
+    let response = connect(&addr)
+        .call(Limits::none(), Request::EvictInstance { handle })
+        .unwrap_or_else(|e| {
+            eprintln!("evict failed: {e}");
+            std::process::exit(1)
+        });
+    println!("{}", response.outcome);
+    std::process::exit(match &response.outcome {
+        Outcome::Evicted { .. } => 0,
+        _ => 3,
+    });
 }
 
 // ---------------------------------------------------------------------
