@@ -25,6 +25,14 @@
 //! `--smoke` shrinks the run for CI (few connections, few requests).
 //! Exit code 0 means every connection thread completed without a panic
 //! or transport failure and at least one request completed.
+//!
+//! `--cache-dir PATH` (in-process runs only) turns on the persistent
+//! cache tier and appends a kill-and-restart phase: after the load
+//! drains, the server is stopped and a fresh one is brought up on the
+//! same directory; the report's `restart` section records the cold
+//! start time, whether a pre-restart handle survived with a
+//! byte-identical answer, the first request's `index_builds` (0 means
+//! the warm restore did its job), and post-restart latency.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,7 +42,8 @@ use std::time::{Duration, Instant};
 use vqd_bench::genq::{path_query, path_views, random_cq, CqGen};
 use vqd_instance::Schema;
 use vqd_server::{
-    Client, ErrorKind, Limits, Outcome, Request, ServerCaps, ServerConfig, WireMetrics,
+    Client, DiskConfig, ErrorKind, Limits, Outcome, Request, ServerCaps, ServerConfig,
+    WireMetrics,
 };
 
 struct Args {
@@ -46,13 +55,15 @@ struct Args {
     seed: u64,
     out: String,
     addr: Option<String>,
+    cache_dir: Option<String>,
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: loadgen [--conns N] [--requests N] [--workers N] [--queue-depth N] \
-         [--deadline-ms N] [--seed N] [--out PATH] [--addr HOST:PORT] [--smoke]"
+         [--deadline-ms N] [--seed N] [--out PATH] [--addr HOST:PORT] \
+         [--cache-dir PATH] [--smoke]"
     );
     std::process::exit(2)
 }
@@ -67,6 +78,7 @@ fn parse_args() -> Args {
         seed: 7,
         out: "BENCH_server.json".to_owned(),
         addr: None,
+        cache_dir: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -89,6 +101,11 @@ fn parse_args() -> Args {
             "--addr" => {
                 args.addr =
                     Some(it.next().unwrap_or_else(|| die("flag `--addr` needs a value")).clone());
+            }
+            "--cache-dir" => {
+                args.cache_dir = Some(
+                    it.next().unwrap_or_else(|| die("flag `--cache-dir` needs a value")).clone(),
+                );
             }
             "--smoke" => {
                 args.conns = 6;
@@ -276,6 +293,17 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Caps for an in-process server; `--cache-dir` turns on the
+/// persistent tier so the restart phase has something to survive on.
+fn in_process_caps(cache_dir: Option<&str>) -> ServerCaps {
+    let mut caps =
+        ServerCaps { max_deadline: Duration::from_secs(5), ..ServerCaps::default() };
+    if let Some(dir) = cache_dir {
+        caps.cache.disk = Some(DiskConfig::at(std::path::PathBuf::from(dir)));
+    }
+    caps
+}
+
 fn main() {
     let args = parse_args();
 
@@ -290,10 +318,7 @@ fn main() {
                 addr: "127.0.0.1:0".to_owned(),
                 workers: args.workers,
                 queue_depth: args.queue_depth,
-                caps: ServerCaps {
-                    max_deadline: Duration::from_secs(5),
-                    ..ServerCaps::default()
-                },
+                caps: in_process_caps(args.cache_dir.as_deref()),
             })
             .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
             (handle.addr(), Some(handle))
@@ -357,7 +382,20 @@ fn main() {
         .and_then(|mut c| c.cache_stats().ok())
         .and_then(|outcome| match outcome {
             Outcome::CacheStatsSnapshot {
-                entries, bytes, hits, misses, evictions, puts, ..
+                entries,
+                bytes,
+                hits,
+                misses,
+                evictions,
+                puts,
+                disk_hits,
+                disk_misses,
+                disk_spills,
+                disk_promotions,
+                disk_corrupt_dropped,
+                disk_io_errors,
+                disk_bytes,
+                ..
             } => Some(Value::object([
                 ("entries", Value::from(entries)),
                 ("bytes", Value::from(bytes)),
@@ -365,10 +403,81 @@ fn main() {
                 ("misses", Value::from(misses)),
                 ("evictions", Value::from(evictions)),
                 ("puts", Value::from(puts)),
+                ("disk_hits", Value::from(disk_hits)),
+                ("disk_misses", Value::from(disk_misses)),
+                ("disk_spills", Value::from(disk_spills)),
+                ("disk_promotions", Value::from(disk_promotions)),
+                ("disk_corrupt_dropped", Value::from(disk_corrupt_dropped)),
+                ("disk_io_errors", Value::from(disk_io_errors)),
+                ("disk_bytes", Value::from(disk_bytes)),
             ])),
             _ => None,
         });
+    // With a persistent cache dir, bracket a kill-and-restart: register
+    // one more handle, capture its baseline answer while the first
+    // server is alive, then (after the shutdown below) bring a fresh
+    // server up on the same directory and measure how warm it is.
+    let restart_probe: Option<(String, String)> =
+        if handle.is_some() && args.cache_dir.is_some() {
+            (|| {
+                let mut c = Client::connect(addr).ok()?;
+                c.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+                let (h, _) = c.put_instance("V/2", &*shared_extent()).ok()?;
+                let limits = Limits { deadline_ms: Some(10_000), ..Limits::none() };
+                let baseline = c.call(limits, certain_by_handle(&h)).ok()?;
+                matches!(baseline.outcome, Outcome::CertainAnswers { .. })
+                    .then(|| (h, baseline.outcome.to_string()))
+            })()
+        } else {
+            None
+        };
     let server_metrics: Option<WireMetrics> = handle.map(|h| h.shutdown());
+    let restart_report: Option<Value> = restart_probe.and_then(|(survivor, baseline)| {
+        let spawn_started = Instant::now();
+        let second = vqd_server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+            caps: in_process_caps(args.cache_dir.as_deref()),
+        })
+        .ok()?;
+        let cold_start_ms = spawn_started.elapsed().as_secs_f64() * 1e3;
+        let mut c = Client::connect(second.addr()).ok()?;
+        c.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+        let limits = Limits { deadline_ms: Some(10_000), ..Limits::none() };
+        let first_started = Instant::now();
+        let first = c.call(limits.clone(), certain_by_handle(&survivor)).ok()?;
+        let first_request_ms = first_started.elapsed().as_secs_f64() * 1e3;
+        let handle_survived = matches!(first.outcome, Outcome::CertainAnswers { .. });
+        // "Byte-identical" is the restart acceptance bar: the answer
+        // after the restart must render exactly as it did before it.
+        let byte_identical = handle_survived && first.outcome.to_string() == baseline;
+        let mut post_ms = Vec::new();
+        for _ in 0..10 {
+            let s = Instant::now();
+            if c.call(limits.clone(), certain_by_handle(&survivor)).is_err() {
+                break;
+            }
+            post_ms.push(s.elapsed().as_secs_f64() * 1e3);
+        }
+        post_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let _ = second.shutdown();
+        println!(
+            "restart: cold start {cold_start_ms:.1}ms, first handle request \
+             {first_request_ms:.2}ms ({} index builds), survived={handle_survived}, \
+             byte_identical={byte_identical}",
+            first.work.index_builds
+        );
+        Some(Value::object([
+            ("cold_start_ms", Value::from(cold_start_ms)),
+            ("handle_survived", Value::from(handle_survived)),
+            ("byte_identical", Value::from(byte_identical)),
+            ("first_request_ms", Value::from(first_request_ms)),
+            ("first_index_builds", Value::from(first.work.index_builds)),
+            ("post_restart_requests", Value::from(post_ms.len())),
+            ("post_restart_p50_ms", Value::from(percentile(&post_ms, 0.50))),
+        ]))
+    });
 
     let completed = all.latencies_ms.len() as u64;
     all.latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -447,6 +556,9 @@ fn main() {
     ];
     if let Some(cache) = cache_counters {
         report.push(("server_cache".to_owned(), cache));
+    }
+    if let Some(restart) = restart_report {
+        report.push(("restart".to_owned(), restart));
     }
     if let Some(m) = &server_metrics {
         report.push((

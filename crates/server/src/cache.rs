@@ -29,6 +29,15 @@
 //! server's observability [`Registry`] so `stats` and BENCH_server.json
 //! see them without a separate plumbing path.
 //!
+//! With [`CacheConfig::disk`] set, a crash-only [`DiskTier`] backs the
+//! RAM LRU: `insert_index` writes through to an append-only segment, a
+//! RAM miss falls back to a verified disk load that is promoted back
+//! into the LRU, the handle table snapshots atomically on every
+//! mutation, and startup warm-restores both — so a restarted server
+//! answers its first handle request with zero index builds. Every disk
+//! failure (torn write, truncation, bit flip, I/O error, fingerprint
+//! mismatch) degrades to a counted clean miss; see [`crate::disk`].
+//!
 //! [`DomainNames`]: vqd_instance::DomainNames
 
 use std::collections::hash_map::DefaultHasher;
@@ -39,10 +48,12 @@ use std::sync::{Arc, Mutex};
 use vqd_instance::IndexedInstance;
 use vqd_obs::Registry;
 
+use crate::disk::{DiskConfig, DiskTier};
+
 /// Sizing knobs for the cross-request instance cache. Lives inside
 /// [`crate::server::ServerCaps`] so existing `ServerConfig` literals
-/// keep compiling; `Copy` because caps are.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// keep compiling.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Lock shards. Keys hash to a shard; bounds are split evenly.
     pub shards: usize,
@@ -50,11 +61,14 @@ pub struct CacheConfig {
     pub max_entries: usize,
     /// Total approximate-byte cap across shards.
     pub max_bytes: u64,
+    /// Optional crash-only persistent tier (see [`crate::disk`]).
+    /// `None` keeps the cache purely in-memory, exactly as before.
+    pub disk: Option<DiskConfig>,
 }
 
 impl Default for CacheConfig {
     fn default() -> CacheConfig {
-        CacheConfig { shards: 4, max_entries: 128, max_bytes: 64 << 20 }
+        CacheConfig { shards: 4, max_entries: 128, max_bytes: 64 << 20, disk: None }
     }
 }
 
@@ -105,12 +119,27 @@ pub struct CacheCounters {
     pub evictions: u64,
     /// `put_instance` registrations.
     pub puts: u64,
+    /// Disk loads that returned a verified record (0 without a tier).
+    pub disk_hits: u64,
+    /// Disk lookups that found nothing usable (0 without a tier).
+    pub disk_misses: u64,
+    /// Records appended to the segment (0 without a tier).
+    pub disk_spills: u64,
+    /// Disk hits promoted back into the RAM LRU (0 without a tier).
+    pub disk_promotions: u64,
+    /// Records dropped for bad framing/checksum/fingerprint.
+    pub disk_corrupt_dropped: u64,
+    /// Disk I/O failures demoted to clean misses.
+    pub disk_io_errors: u64,
+    /// Live segment bytes (0 without a tier).
+    pub disk_bytes: u64,
 }
 
 /// The sharded LRU described in the module docs.
 pub struct InstanceCache {
     shards: Vec<Mutex<Shard>>,
     config: CacheConfig,
+    tier: Option<Arc<DiskTier>>,
     clock: AtomicU64,
     next_handle: AtomicU64,
     entries: AtomicU64,
@@ -139,12 +168,22 @@ pub fn derived_key(schema: &str, views: &str, query: &str, fingerprint: &str) ->
 }
 
 impl InstanceCache {
-    /// An empty cache mirroring its counters into `registry`.
+    /// A cache mirroring its counters into `registry`. With a disk
+    /// config, opens (or recovers) the persistent tier and
+    /// warm-restores the handle table plus the newest derived entries
+    /// that fit the RAM budget — the index rebuilds happen *here*, at
+    /// startup, so the first post-restart request is a pure RAM hit
+    /// with zero index builds in its work envelope.
     pub fn new(config: CacheConfig, registry: Arc<Registry>) -> InstanceCache {
         let shards = config.shards.max(1);
-        InstanceCache {
+        let tier = config
+            .disk
+            .clone()
+            .map(|d| Arc::new(DiskTier::open(d, Arc::clone(&registry))));
+        let cache = InstanceCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             config,
+            tier,
             clock: AtomicU64::new(0),
             next_handle: AtomicU64::new(0),
             entries: AtomicU64::new(0),
@@ -154,12 +193,59 @@ impl InstanceCache {
             evictions: AtomicU64::new(0),
             puts: AtomicU64::new(0),
             registry,
-        }
+        };
+        cache.warm_restore();
+        cache
     }
 
     /// The sizing this cache was built with.
-    pub fn config(&self) -> CacheConfig {
-        self.config
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The persistent tier, when configured (tests arm faults on it).
+    pub fn disk(&self) -> Option<&Arc<DiskTier>> {
+        self.tier.as_ref()
+    }
+
+    /// Rehydrates RAM state from the disk tier (no-op without one):
+    /// handle table + `next_handle` from the snapshot, then derived
+    /// entries newest-spill-first until the RAM budget is full,
+    /// inserted oldest-first so recency order survives the restart.
+    fn warm_restore(&self) {
+        let Some(tier) = self.tier.clone() else { return };
+        if let Some((handles, next_handle)) = tier.restore_handles() {
+            self.next_handle.store(next_handle, Ordering::Relaxed);
+            for (handle, entry) in handles {
+                let bytes = (entry.schema.len()
+                    + entry.extent.len()
+                    + entry.fingerprint.len()) as u64;
+                self.insert(handle, Slot::Handle(entry), bytes);
+            }
+        }
+        // Only the budget left over after the handle table: restored
+        // handles must never be evicted by the entries they anchor.
+        let room_entries = self
+            .config
+            .max_entries
+            .saturating_sub(self.entries.load(Ordering::Relaxed) as usize);
+        let room_bytes =
+            self.config.max_bytes.saturating_sub(self.bytes.load(Ordering::Relaxed));
+        let mut picked = Vec::new();
+        let mut picked_bytes = 0u64;
+        for key in tier.keys_newest_first() {
+            if picked.len() >= room_entries || picked_bytes >= room_bytes {
+                break; // older spills stay disk-resident: promote on miss
+            }
+            if let Some(index) = tier.load(&key) {
+                picked_bytes += index.approx_bytes();
+                picked.push((key, index));
+            }
+        }
+        for (key, index) in picked.into_iter().rev() {
+            let bytes = index.approx_bytes();
+            self.insert(key, Slot::Index(index), bytes);
+        }
     }
 
     fn shard(&self, key: &str) -> &Mutex<Shard> {
@@ -192,6 +278,7 @@ impl InstanceCache {
         self.insert(handle.clone(), Slot::Handle(entry), bytes);
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.registry.counter("cache.puts").inc();
+        self.snapshot_handles();
         handle
     }
 
@@ -224,13 +311,19 @@ impl InstanceCache {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 self.registry.counter("cache.evictions").inc();
                 self.publish_gauges();
+                self.snapshot_handles();
                 true
             }
             None => false,
         }
     }
 
-    /// Fetches a cached derived index, counting a hit or miss.
+    /// Fetches a cached derived index, counting a RAM hit or miss. On a
+    /// RAM miss with a disk tier, falls back to a verified disk load
+    /// and promotes the record back into the LRU — the caller skips the
+    /// chase either way, but the promotion's index rebuild is honestly
+    /// charged to the requesting worker's profile (a cheaper miss, not
+    /// a free hit).
     pub fn get_index(&self, key: &str) -> Option<Arc<IndexedInstance>> {
         let stamp = self.tick();
         let found = {
@@ -246,21 +339,32 @@ impl InstanceCache {
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.registry.counter("cache.hits").inc();
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            self.registry.counter("cache.misses").inc();
+            return found;
         }
-        found
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.registry.counter("cache.misses").inc();
+        let tier = self.tier.as_ref()?;
+        let index = tier.load(key)?;
+        tier.note_promotion();
+        self.insert(key.to_owned(), Slot::Index(Arc::clone(&index)), index.approx_bytes());
+        Some(index)
     }
 
-    /// Stores a derived index under its [`derived_key`].
+    /// Stores a derived index under its [`derived_key`], writing
+    /// through to the disk tier (spill-then-index on disk; a no-op when
+    /// the key is already segment-resident — derived keys are
+    /// content-addressed, so equal keys mean equal chases).
     pub fn insert_index(&self, key: String, index: Arc<IndexedInstance>) {
         let bytes = index.approx_bytes();
+        if let Some(tier) = &self.tier {
+            tier.spill(&key, &index);
+        }
         self.insert(key, Slot::Index(index), bytes);
     }
 
-    /// Current counters.
+    /// Current counters (disk fields all zero without a tier).
     pub fn stats(&self) -> CacheCounters {
+        let disk = self.tier.as_ref().map(|t| t.counters()).unwrap_or_default();
         CacheCounters {
             entries: self.entries.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
@@ -268,6 +372,13 @@ impl InstanceCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
+            disk_hits: disk.hits,
+            disk_misses: disk.misses,
+            disk_spills: disk.spills,
+            disk_promotions: disk.promotions,
+            disk_corrupt_dropped: disk.corrupt_dropped,
+            disk_io_errors: disk.io_errors,
+            disk_bytes: disk.bytes,
         }
     }
 
@@ -283,7 +394,7 @@ impl InstanceCache {
         // a hot shard can always hold its newest value.
         let max_entries = (self.config.max_entries as u64 / shards).max(1);
         let max_bytes = (self.config.max_bytes / shards).max(1);
-        let mut evicted = 0u64;
+        let mut victims: Vec<(String, Entry)> = Vec::new();
         {
             let mut shard = self.lock(&key);
             if let Some(old) = shard.map.remove(&key) {
@@ -318,15 +429,72 @@ impl InstanceCache {
                 }
                 if let Some(old) = shard.map.remove(&victim) {
                     self.note_removed(&old);
-                    evicted += 1;
+                    victims.push((victim, old));
                 }
             }
         }
-        if evicted > 0 {
+        if !victims.is_empty() {
+            let evicted = victims.len() as u64;
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
             self.registry.counter("cache.evictions").add(evicted);
         }
         self.publish_gauges();
+        // Disk work happens strictly after the shard lock is released:
+        // the shard and tier locks are never held together (the lock
+        // ordering invariant that keeps promote-on-hit deadlock-free).
+        if let Some(tier) = &self.tier {
+            let mut lost_handle = false;
+            for (victim_key, victim) in &victims {
+                match &victim.slot {
+                    // Write-through makes this a cheap no-op for keys
+                    // already segment-resident; it is the safety net
+                    // that keeps "evicted ⇒ on disk" true regardless of
+                    // how the entry got into RAM.
+                    Slot::Index(index) => tier.spill(victim_key, index),
+                    Slot::Handle(_) => lost_handle = true,
+                }
+            }
+            if lost_handle {
+                self.snapshot_handles();
+            }
+        }
+    }
+
+    /// Atomically snapshots the current handle table into the disk tier
+    /// (no-op without one). Locks shards one at a time, never while
+    /// holding another lock.
+    fn snapshot_handles(&self) {
+        let Some(tier) = &self.tier else { return };
+        let mut handles: Vec<(String, HandleEntry)> = Vec::new();
+        for shard in &self.shards {
+            let guard = match shard.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for (key, entry) in guard.map.iter() {
+                if let Slot::Handle(h) = &entry.slot {
+                    handles.push((key.clone(), h.clone()));
+                }
+            }
+        }
+        handles.sort_by(|a, b| a.0.cmp(&b.0));
+        tier.snapshot_handles(&handles, self.next_handle.load(Ordering::Relaxed));
+    }
+
+    /// Test hook: poisons the shard holding `key` by panicking a scoped
+    /// thread that owns its lock, so suites can prove every public
+    /// operation recovers instead of wedging.
+    #[doc(hidden)]
+    pub fn poison_shard_for_tests(&self, key: &str) {
+        let shard = self.shard(key);
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = shard.lock().unwrap();
+                    panic!("poisoning shard for tests");
+                })
+                .join()
+        });
     }
 }
 
@@ -387,7 +555,7 @@ mod tests {
 
     #[test]
     fn entry_pressure_evicts_least_recently_used() {
-        let c = cache(CacheConfig { shards: 1, max_entries: 2, max_bytes: u64::MAX });
+        let c = cache(CacheConfig { shards: 1, max_entries: 2, ..CacheConfig::default() });
         let h1 = c.put(handle_entry("A"));
         let h2 = c.put(handle_entry("B"));
         assert!(c.get_handle(&h1).is_some()); // refresh h1: h2 is now LRU
@@ -403,7 +571,12 @@ mod tests {
     fn byte_pressure_evicts_but_keeps_the_newest() {
         let big = small_index(64);
         let budget = big.approx_bytes() + big.approx_bytes() / 2;
-        let c = cache(CacheConfig { shards: 1, max_entries: 1024, max_bytes: budget });
+        let c = cache(CacheConfig {
+            shards: 1,
+            max_entries: 1024,
+            max_bytes: budget,
+            disk: None,
+        });
         c.insert_index("d:1".into(), small_index(64));
         c.insert_index("d:2".into(), small_index(64)); // over budget: d:1 goes
         assert!(c.get_index("d:1").is_none());
@@ -412,7 +585,8 @@ mod tests {
         assert!(c.stats().bytes <= budget);
         // An entry larger than the whole budget still lands (and is the
         // sole survivor) instead of thrashing forever.
-        let c = cache(CacheConfig { shards: 1, max_entries: 1024, max_bytes: 8 });
+        let c =
+            cache(CacheConfig { shards: 1, max_entries: 1024, max_bytes: 8, disk: None });
         c.insert_index("d:big".into(), small_index(64));
         assert!(c.get_index("d:big").is_some());
         assert_eq!(c.stats().entries, 1);

@@ -51,6 +51,8 @@ pub struct EngineCtx {
     pub cache: Arc<InstanceCache>,
     /// Tripping this token starts a server drain.
     pub shutdown: CancelToken,
+    /// Whether `debug_panic` is live (worker-containment tests only).
+    pub debug_ops: bool,
 }
 
 impl EngineCtx {
@@ -69,6 +71,7 @@ impl EngineCtx {
             registry,
             started: Instant::now(),
             shutdown,
+            debug_ops: false,
         }
     }
 }
@@ -211,7 +214,23 @@ pub fn execute(request: &Request, budget: &Budget, ctx: &EngineCtx) -> Outcome {
                 puts: s.puts,
                 max_entries: config.max_entries as u64,
                 max_bytes: config.max_bytes,
+                disk_hits: s.disk_hits,
+                disk_misses: s.disk_misses,
+                disk_spills: s.disk_spills,
+                disk_promotions: s.disk_promotions,
+                disk_corrupt_dropped: s.disk_corrupt_dropped,
+                disk_io_errors: s.disk_io_errors,
+                disk_bytes: s.disk_bytes,
             }
+        }
+        Request::DebugPanic => {
+            if ctx.debug_ops {
+                panic!("debug_panic: injected worker panic");
+            }
+            err(
+                ErrorKind::Unsupported,
+                "debug_panic requires a server started with enable_debug_ops",
+            )
         }
         Request::Containment { schema, q1, q2, max_domain, space_limit } => {
             run_containment(schema, q1, q2, *max_domain, *space_limit, budget)

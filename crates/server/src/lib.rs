@@ -22,8 +22,17 @@
 //!   pass `{"handle": ...}` as the extent and reuse the cached chased
 //!   index across requests — repeat requests report zero index builds
 //!   with byte-identical answers;
-//! * **client library** ([`client`]): a blocking [`Client`] for tests,
-//!   the CLI, and the `loadgen` bench.
+//! * **crash-only disk tier** ([`disk`]): with `--cache-dir`, derived
+//!   entries spill to a checksummed append-only segment and the handle
+//!   table snapshots atomically, so a restarted server warm-starts and
+//!   answers pre-restart handles with zero index builds; torn writes,
+//!   truncation, bit flips, and I/O errors (all injectable via
+//!   [`disk::DiskFault`]) degrade to counted clean misses, never wrong
+//!   answers;
+//! * **client library** ([`client`]): a blocking [`Client`] with
+//!   per-call I/O timeouts and an opt-in idempotent-only
+//!   [`client::RetryPolicy`], for tests, the CLI, and the `loadgen`
+//!   bench.
 //!
 //! Everything is `std`-only: `std::net` sockets, `std::thread` workers,
 //! `std::sync::mpsc` queues, and the workspace's [`serde::json`] shim
@@ -50,6 +59,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod disk;
 pub mod engine;
 pub mod metrics;
 pub mod pool;
@@ -57,7 +67,8 @@ pub mod proto;
 pub mod server;
 
 pub use cache::{CacheConfig, CacheCounters, HandleEntry, InstanceCache};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
+pub use disk::{DiskConfig, DiskCounters, DiskFault, DiskTier};
 pub use metrics::Metrics;
 pub use pool::{Pool, QueueHandle, SubmitError};
 pub use proto::{

@@ -211,6 +211,10 @@ fn run_job(job: Job, ctx: &EngineCtx) {
             .map(|s| (*s).to_owned())
             .or_else(|| panic.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "engine panicked".to_owned());
+        // Containment boundary: the panic is demoted to a typed reply,
+        // the worker thread survives, and the counter makes the event
+        // visible to `stats`/BENCH instead of silently absorbed.
+        ctx.registry.counter("server.worker_panics").inc();
         Outcome::Error { kind: ErrorKind::Internal, message: msg }
     });
     let elapsed_ms = started.elapsed().as_millis() as u64;

@@ -176,6 +176,9 @@ pub enum Request {
     Stats,
     /// Asks the server to drain and stop.
     Shutdown,
+    /// Deliberately panics the worker (containment tests). Servers
+    /// reply `unsupported` unless started with `enable_debug_ops`.
+    DebugPanic,
 }
 
 impl Request {
@@ -194,6 +197,7 @@ impl Request {
             Request::Semantic { .. } => "check_exhaustive",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
+            Request::DebugPanic => "debug_panic",
         }
     }
 }
@@ -291,6 +295,10 @@ pub enum ErrorKind {
     /// The named instance handle is not in the cache (never existed, or
     /// was evicted). Recoverable: `put_instance` again and retry.
     UnknownHandle,
+    /// The connection exceeded a server-side I/O deadline (e.g. a
+    /// partial request line that never completed). The server drops the
+    /// connection after this reply; reconnect to recover.
+    Timeout,
     /// The request died inside the engine (a bug server-side; the worker
     /// survived and the connection stays usable).
     Internal,
@@ -307,6 +315,7 @@ impl ErrorKind {
             ErrorKind::SchemaMismatch => "schema-mismatch",
             ErrorKind::Unsupported => "unsupported",
             ErrorKind::UnknownHandle => "unknown-handle",
+            ErrorKind::Timeout => "timeout",
             ErrorKind::Internal => "internal",
         }
     }
@@ -321,6 +330,7 @@ impl ErrorKind {
             "schema-mismatch" => ErrorKind::SchemaMismatch,
             "unsupported" => ErrorKind::Unsupported,
             "unknown-handle" => ErrorKind::UnknownHandle,
+            "timeout" => ErrorKind::Timeout,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -430,6 +440,22 @@ pub enum Outcome {
         max_entries: u64,
         /// Configured byte cap.
         max_bytes: u64,
+        /// Disk-tier loads that returned a verified record. All
+        /// `disk_*` fields are additive: old clients never see the keys
+        /// and new clients decode absent keys as 0 (no-tier servers).
+        disk_hits: u64,
+        /// Disk-tier lookups that found nothing usable.
+        disk_misses: u64,
+        /// Records appended to the segment file.
+        disk_spills: u64,
+        /// Disk hits promoted back into the RAM LRU.
+        disk_promotions: u64,
+        /// Records dropped for bad framing/checksum/fingerprint.
+        disk_corrupt_dropped: u64,
+        /// Disk I/O failures demoted to clean misses.
+        disk_io_errors: u64,
+        /// Live segment bytes.
+        disk_bytes: u64,
     },
     /// Verdict of the bounded containment check.
     Contained {
@@ -585,7 +611,7 @@ impl Envelope {
             vec![("op".to_owned(), Value::from(self.request.op()))];
         let mut s = |k: &str, v: &str| req.push((k.to_owned(), Value::from(v)));
         match &self.request {
-            Request::Ping | Request::Stats | Request::Shutdown => {}
+            Request::Ping | Request::Stats | Request::Shutdown | Request::DebugPanic => {}
             Request::Decide { schema, views, query }
             | Request::Rewrite { schema, views, query } => {
                 s("schema", schema);
@@ -709,6 +735,7 @@ impl Envelope {
             "ping" => Request::Ping,
             "stats" => Request::Stats,
             "shutdown" => Request::Shutdown,
+            "debug_panic" => Request::DebugPanic,
             "decide_unrestricted" => Request::Decide {
                 schema: text("schema")?,
                 views: text("views")?,
@@ -842,6 +869,13 @@ impl Response {
                 puts,
                 max_entries,
                 max_bytes,
+                disk_hits,
+                disk_misses,
+                disk_spills,
+                disk_promotions,
+                disk_corrupt_dropped,
+                disk_io_errors,
+                disk_bytes,
             } => {
                 for (k, v) in [
                     ("entries", *entries),
@@ -852,6 +886,13 @@ impl Response {
                     ("puts", *puts),
                     ("max_entries", *max_entries),
                     ("max_bytes", *max_bytes),
+                    ("disk_hits", *disk_hits),
+                    ("disk_misses", *disk_misses),
+                    ("disk_spills", *disk_spills),
+                    ("disk_promotions", *disk_promotions),
+                    ("disk_corrupt_dropped", *disk_corrupt_dropped),
+                    ("disk_io_errors", *disk_io_errors),
+                    ("disk_bytes", *disk_bytes),
                 ] {
                     result.push((k.to_owned(), Value::from(v)));
                 }
@@ -1005,6 +1046,15 @@ impl Response {
                     puts: g("puts"),
                     max_entries: g("max_entries"),
                     max_bytes: g("max_bytes"),
+                    // Additive: absent on replies from servers without
+                    // a disk tier (or older servers) decodes as 0.
+                    disk_hits: g("disk_hits"),
+                    disk_misses: g("disk_misses"),
+                    disk_spills: g("disk_spills"),
+                    disk_promotions: g("disk_promotions"),
+                    disk_corrupt_dropped: g("disk_corrupt_dropped"),
+                    disk_io_errors: g("disk_io_errors"),
+                    disk_bytes: g("disk_bytes"),
                 }
             }
             "containment" => Outcome::Contained {
@@ -1115,11 +1165,25 @@ impl std::fmt::Display for Outcome {
                 puts,
                 max_entries,
                 max_bytes,
+                disk_hits,
+                disk_misses,
+                disk_spills,
+                disk_promotions,
+                disk_corrupt_dropped,
+                disk_io_errors,
+                disk_bytes,
             } => {
+                // The RAM section's wording is load-bearing: CI greps
+                // for its substrings, so the disk section only appends.
                 write!(
                     f,
                     "cache: {entries}/{max_entries} entries, {bytes}/{max_bytes} bytes | \
-                     hits {hits} | misses {misses} | evictions {evictions} | puts {puts}"
+                     hits {hits} | misses {misses} | evictions {evictions} | puts {puts} | \
+                     disk: {disk_bytes} bytes, disk_hits {disk_hits}, \
+                     disk_misses {disk_misses}, disk_spills {disk_spills}, \
+                     disk_promotions {disk_promotions}, \
+                     disk_corrupt_dropped {disk_corrupt_dropped}, \
+                     disk_io_errors {disk_io_errors}"
                 )
             }
             Outcome::Contained { verdict, bound, witness } => {
@@ -1403,6 +1467,13 @@ mod tests {
                 puts: 2,
                 max_entries: 128,
                 max_bytes: 64 << 20,
+                disk_hits: 3,
+                disk_misses: 2,
+                disk_spills: 4,
+                disk_promotions: 3,
+                disk_corrupt_dropped: 1,
+                disk_io_errors: 1,
+                disk_bytes: 8192,
             },
             WireStats::default(),
         ));

@@ -35,7 +35,7 @@ use vqd_budget::{Budget, CancelToken};
 
 /// Server-side resource caps applied to *every* request, whatever the
 /// client asked for.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerCaps {
     /// Hard wall-clock cap per request.
     pub max_deadline: Duration,
@@ -47,6 +47,13 @@ pub struct ServerCaps {
     /// [`ServerConfig`]) so existing `ServerConfig` literals written
     /// against v1 keep compiling via `ServerCaps::default()`.
     pub cache: CacheConfig,
+    /// Slow-client guard: how long a connection may sit on a *partial*
+    /// request line before it is answered with a typed `timeout` error
+    /// and dropped. Idle connections (no partial line) are unaffected.
+    pub conn_read_timeout: Duration,
+    /// Enables the `debug_panic` op (worker-panic containment tests
+    /// only). Off by default: production servers reply `unsupported`.
+    pub enable_debug_ops: bool,
 }
 
 impl Default for ServerCaps {
@@ -56,6 +63,8 @@ impl Default for ServerCaps {
             max_steps: None,
             max_tuples: None,
             cache: CacheConfig::default(),
+            conn_read_timeout: Duration::from_secs(10),
+            enable_debug_ops: false,
         }
     }
 }
@@ -93,6 +102,10 @@ struct Shared {
     caps: ServerCaps,
     metrics: Arc<Metrics>,
     registry: Arc<vqd_obs::Registry>,
+    /// The instance cache, shared with the worker pool's [`EngineCtx`]
+    /// so tests and the loadgen restart phase can reach the disk tier
+    /// (fault arming, segment paths) on a live server.
+    cache: Arc<InstanceCache>,
 }
 
 impl Shared {
@@ -144,6 +157,11 @@ impl ServerHandle {
     /// The shutdown token (share it with supervisors/signal handlers).
     pub fn shutdown_token(&self) -> CancelToken {
         self.shared.shutdown_token()
+    }
+
+    /// The live instance cache (tests arm disk faults through it).
+    pub fn cache(&self) -> Arc<InstanceCache> {
+        Arc::clone(&self.shared.cache)
     }
 
     /// Whether a shutdown has been requested (locally or over the wire).
@@ -204,18 +222,24 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let metrics = Arc::new(Metrics::new());
     let registry = Arc::new(vqd_obs::Registry::new());
+    // Building the cache may warm-restore a disk tier: index rebuilds
+    // happen here, on the spawning thread, before any request runs.
+    let cache =
+        Arc::new(InstanceCache::new(config.caps.cache.clone(), Arc::clone(&registry)));
     let shared = Arc::new(Shared {
         master: Budget::unlimited(),
         caps: config.caps,
         metrics: Arc::clone(&metrics),
         registry: Arc::clone(&registry),
+        cache: Arc::clone(&cache),
     });
     let ctx = EngineCtx {
         metrics: Arc::clone(&metrics),
-        cache: Arc::new(InstanceCache::new(config.caps.cache, Arc::clone(&registry))),
+        cache,
         registry,
         started: std::time::Instant::now(),
         shutdown: shared.shutdown_token(),
+        debug_ops: shared.caps.enable_debug_ops,
     };
     let pool = Pool::new(config.workers, config.queue_depth, ctx);
     let queue = pool.queue_handle();
@@ -286,6 +310,11 @@ fn serve_connection(
     let mut writer = stream;
     let token = shared.shutdown_token();
     let mut buf: Vec<u8> = Vec::new();
+    // Slow-client guard: a connection may idle forever, but once it has
+    // sent a *partial* request line the rest must arrive within
+    // `caps.conn_read_timeout`, or it gets a typed `timeout` error and
+    // the thread is reclaimed (slowloris protection).
+    let mut partial_since: Option<std::time::Instant> = None;
     loop {
         if token.is_canceled() {
             return Ok(());
@@ -297,6 +326,7 @@ fn serve_connection(
                     // Partial line at EOF boundary: process it; the next
                     // read returns Ok(0).
                 }
+                partial_since = None;
                 let line = String::from_utf8_lossy(&buf).into_owned();
                 let response = handle_line(line.trim(), shared, queue);
                 buf.clear();
@@ -311,6 +341,27 @@ fn serve_connection(
                     || e.kind() == io::ErrorKind::Interrupted =>
             {
                 // Idle poll; partial bytes (if any) stay in `buf`.
+                if buf.is_empty() {
+                    partial_since = None;
+                } else {
+                    let since =
+                        *partial_since.get_or_insert_with(std::time::Instant::now);
+                    if since.elapsed() >= shared.caps.conn_read_timeout {
+                        shared.registry.counter("server.conn_timeouts").inc();
+                        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        let response = Response::error(
+                            "",
+                            ErrorKind::Timeout,
+                            format!(
+                                "no complete request line within {}ms",
+                                shared.caps.conn_read_timeout.as_millis()
+                            ),
+                        );
+                        writeln!(writer, "{}", response.to_json())?;
+                        writer.flush()?;
+                        return Ok(());
+                    }
+                }
             }
             Err(e) => return Err(e),
         }
@@ -366,10 +417,14 @@ mod tests {
                 max_deadline: Duration::from_secs(2),
                 max_steps: Some(1000),
                 max_tuples: None,
-                cache: CacheConfig::default(),
+                ..ServerCaps::default()
             },
             metrics: Arc::new(Metrics::new()),
             registry: Arc::new(vqd_obs::Registry::new()),
+            cache: Arc::new(InstanceCache::new(
+                CacheConfig::default(),
+                Arc::new(vqd_obs::Registry::new()),
+            )),
         };
         // Client asks for more than the cap: cap wins.
         let b = shared.clamp(&Limits {

@@ -9,6 +9,7 @@
 //! vqd-cli serve   [--addr 127.0.0.1:7471] [--workers 4] [--queue-depth 64]
 //!                 [--max-deadline-ms 10000] [--max-steps N] [--max-tuples N]
 //!                 [--cache-entries N] [--cache-bytes N]
+//!                 [--cache-dir PATH] [--disk-bytes N]
 //!
 //! vqd-cli request [--addr 127.0.0.1:7471] --op decide \
 //!                 --schema "E/2" --views "..." --query "..." \
@@ -35,6 +36,13 @@
 //! `request --op cache_stats` shows hit/miss/eviction counters. `stats`
 //! prints the server-wide registry: per-op request counts and latency
 //! histograms, queue high-water mark, uptime.
+//!
+//! `--cache-dir PATH` makes the cache persistent: derived entries spill
+//! to an append-only checksummed segment and the handle table is
+//! snapshotted, so a killed-and-restarted server answers its first
+//! handle request with `0 index builds` (`--disk-bytes` caps the
+//! on-disk footprint). Corrupt or torn records are silently dropped at
+//! startup and re-derived on demand — never served.
 
 use vqd::chase::CqViews;
 use vqd::core::analyze::{analyze, AnalyzeOptions, Determinacy};
@@ -236,7 +244,7 @@ fn serve_usage() -> ! {
     eprintln!(
         "usage: vqd-cli serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
          [--max-deadline-ms N] [--max-steps N] [--max-tuples N] \
-         [--cache-entries N] [--cache-bytes N]"
+         [--cache-entries N] [--cache-bytes N] [--cache-dir PATH] [--disk-bytes N]"
     );
     std::process::exit(2)
 }
@@ -257,6 +265,17 @@ fn cmd_serve(argv: &[String]) {
             "--max-tuples" => caps.max_tuples = Some(num_of(&mut it, flag)),
             "--cache-entries" => caps.cache.max_entries = num_of(&mut it, flag),
             "--cache-bytes" => caps.cache.max_bytes = num_of(&mut it, flag),
+            "--cache-dir" => {
+                let dir = std::path::PathBuf::from(value_of(&mut it, flag));
+                caps.cache.disk = Some(server::DiskConfig::at(dir));
+            }
+            "--disk-bytes" => {
+                let budget = num_of(&mut it, flag);
+                match caps.cache.disk.as_mut() {
+                    Some(disk) => disk.max_bytes = budget,
+                    None => die("--disk-bytes requires --cache-dir (pass --cache-dir first)"),
+                }
+            }
             "--help" | "-h" => serve_usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -379,8 +398,9 @@ fn cmd_request(argv: &[String]) {
         });
     println!("{}", response.outcome);
     println!(
-        "[{} steps, {} tuples, {} ms server-side]",
-        response.work.steps, response.work.tuples, response.work.elapsed_ms
+        "[{} steps, {} tuples, {} index builds, {} ms server-side]",
+        response.work.steps, response.work.tuples, response.work.index_builds,
+        response.work.elapsed_ms
     );
     if let Some(p) = &response.profile {
         println!("--- execution profile (engine counter deltas) ---");

@@ -18,8 +18,8 @@
 use serde::json::Value;
 use std::time::Duration;
 use vqd::server::{
-    self, client, CacheConfig, Client, ErrorKind, Limits, Outcome, Request, ServerCaps,
-    ServerConfig,
+    self, client, CacheConfig, Client, DiskConfig, ErrorKind, Limits, Outcome, Request,
+    ServerCaps, ServerConfig,
 };
 
 fn server_with_caps(workers: usize, caps: ServerCaps) -> server::ServerHandle {
@@ -173,7 +173,7 @@ fn inline_extents_never_touch_the_cache() {
 #[test]
 fn lru_pressure_evicts_old_handles_into_typed_errors() {
     let caps = ServerCaps {
-        cache: CacheConfig { shards: 1, max_entries: 2, max_bytes: u64::MAX },
+        cache: CacheConfig { shards: 1, max_entries: 2, max_bytes: u64::MAX, disk: None },
         ..ServerCaps::default()
     };
     let srv = server_with_caps(1, caps);
@@ -238,6 +238,80 @@ fn cached_requests_keep_per_request_profile_deltas() {
     assert_eq!(p1, p2, "identical cached requests must report identical profiles");
     assert_eq!(p1.get(vqd::obs::Metric::IndexBuilds), 0);
     srv.shutdown();
+}
+
+#[test]
+fn poisoned_shards_recover_under_concurrent_put_evict_spill_churn() {
+    // Persistent tier on, so the churn exercises put + evict + spill
+    // concurrently while we poison shard locks mid-run.
+    let dir = std::env::temp_dir()
+        .join(format!("vqd-cache-poison-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let caps = ServerCaps {
+        cache: CacheConfig {
+            shards: 2,
+            max_entries: 16,
+            max_bytes: u64::MAX,
+            disk: Some(DiskConfig::at(dir.clone())),
+        },
+        ..ServerCaps::default()
+    };
+    let srv = server_with_caps(2, caps);
+    let addr = srv.addr();
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                c.set_read_timeout(Some(Duration::from_secs(30)))
+                    .map_err(|e| format!("timeout: {e}"))?;
+                for i in 0..8 {
+                    let extent = format!("V(A{t}x{i},B). V(B,C{t}x{i}).");
+                    let (h, _) = c
+                        .put_instance("V/2", &*extent)
+                        .map_err(|e| format!("put: {e}"))?;
+                    let reply = c
+                        .call(Limits::none(), certain_by_handle(&h))
+                        .map_err(|e| format!("request: {e}"))?;
+                    // Under LRU churn the handle may already be evicted;
+                    // that degrades to a typed error, never a transport
+                    // failure or a wrong answer.
+                    match &reply.outcome {
+                        Outcome::CertainAnswers { .. } => {}
+                        Outcome::Error { kind: ErrorKind::UnknownHandle, .. } => {}
+                        other => return Err(format!("unexpected outcome {other:?}")),
+                    }
+                    let _ = c.evict_instance(&h);
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    // Poison every shard (distinct keys land on both of the two shards)
+    // while the churn is in flight: subsequent operations must recover
+    // the locks instead of wedging or erroring.
+    std::thread::sleep(Duration::from_millis(20));
+    for key in ["a", "b", "c", "d"] {
+        srv.cache().poison_shard_for_tests(key);
+    }
+    for w in workers {
+        w.join().expect("churn thread must not panic").expect("churn op failed");
+    }
+    let mut c = client(&srv);
+    let (h, _) = c.put_instance("V/2", EXTENT).expect("post-poison put");
+    let reply = c.call(Limits::none(), certain_by_handle(&h)).expect("post-poison request");
+    match &reply.outcome {
+        Outcome::CertainAnswers { count, .. } => assert_eq!(*count, 2),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    match c.cache_stats().expect("cache_stats") {
+        Outcome::CacheStatsSnapshot { puts, disk_spills, .. } => {
+            assert!(puts >= 33, "all churn puts must be counted, got {puts}");
+            assert!(disk_spills >= 1, "derived entries must have spilled");
+        }
+        other => panic!("unexpected cache stats {other:?}"),
+    }
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -347,6 +347,85 @@ fn sequential_requests_on_one_connection_get_independent_stats() {
 }
 
 #[test]
+fn slow_clients_get_a_typed_timeout_and_are_disconnected() {
+    use std::io::{Read as _, Write as _};
+    let handle = server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 16,
+        caps: ServerCaps {
+            conn_read_timeout: Duration::from_millis(200),
+            ..ServerCaps::default()
+        },
+    })
+    .expect("spawn server");
+
+    // A well-behaved client on the same server is unaffected.
+    let mut ok_client = Client::connect(handle.addr()).expect("connect");
+    assert!(ok_client.ping().expect("ping"));
+
+    // The slow client sends half a request line and then stalls.
+    let mut slow = std::net::TcpStream::connect(handle.addr()).expect("connect slow");
+    slow.write_all(b"{\"v\":1,\"id\":\"stall\"").expect("partial write");
+    slow.flush().expect("flush");
+    slow.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut reply = String::new();
+    slow.read_to_string(&mut reply).expect("read reply until server closes");
+    let line = reply.lines().next().expect("one reply line before the drop");
+    let response = server::Response::from_line(line).expect("parseable reply");
+    assert!(
+        matches!(&response.outcome, Outcome::Error { kind: ErrorKind::Timeout, .. }),
+        "{response:?}"
+    );
+    // read_to_string returning means the server closed the connection.
+    assert_eq!(handle.registry().counter("server.conn_timeouts").get(), 1);
+
+    // The healthy connection still works afterwards.
+    assert!(ok_client.ping().expect("ping after slow client dropped"));
+    handle.shutdown();
+}
+
+#[test]
+fn worker_panic_is_contained_to_a_typed_internal_error() {
+    let handle = server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 16,
+        caps: ServerCaps { enable_debug_ops: true, ..ServerCaps::default() },
+    })
+    .expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let reply = client.call(Limits::none(), Request::DebugPanic).expect("debug_panic");
+    assert!(
+        matches!(&reply.outcome, Outcome::Error { kind: ErrorKind::Internal, .. }),
+        "{reply:?}"
+    );
+    assert_eq!(handle.registry().counter("server.worker_panics").get(), 1);
+    // Containment: the same connection — and therefore the same single
+    // worker that just panicked — keeps serving real work.
+    assert!(client.ping().expect("ping after panic"));
+    let verdict = client.call(Limits::none(), decide_paths(2, 4)).expect("decide");
+    assert!(
+        matches!(verdict.outcome, Outcome::Decided { determined: true, .. }),
+        "{verdict:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn debug_panic_is_refused_unless_explicitly_enabled() {
+    let handle = server(1, 16);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let reply = client.call(Limits::none(), Request::DebugPanic).expect("debug_panic");
+    assert!(
+        matches!(&reply.outcome, Outcome::Error { kind: ErrorKind::Unsupported, .. }),
+        "{reply:?}"
+    );
+    assert_eq!(handle.registry().counter("server.worker_panics").get(), 0);
+    handle.shutdown();
+}
+
+#[test]
 fn wire_shutdown_request_drains_the_server() {
     let handle = server(2, 16);
     let mut client = Client::connect(handle.addr()).expect("connect");
