@@ -6,8 +6,16 @@
 //! certain-answer evaluations — inline and via cached instance handles,
 //! bounded containment, semantic scans, and pings generated via
 //! [`vqd_bench::genq`]), and writes a JSON report with throughput,
-//! latency percentiles, cache hit/miss latency splits, and outcome
+//! latency percentiles, cache hit/miss latency splits, per-fragment
+//! router attribution (fast-path vs budgeted latency), and outcome
 //! counts to `BENCH_server.json`.
+//!
+//! The determinacy slice of the mix is fragment-stratified: pinned
+//! `project-select` pairs (must take the router's direct fast path),
+//! pinned `path` pairs (chase), and a pinned general pair (budgeted
+//! semi-decision). The client predicts each probe's fragment and
+//! cross-checks the reply's `fragment` attribution; any disagreement
+//! fails the run.
 //!
 //! Every connection `put`s one shared extent up front and routes part
 //! of its certain-answer traffic through the returned handle. All
@@ -138,24 +146,35 @@ fn certain_by_handle(handle: &str) -> Request {
     }
 }
 
-/// One randomized request over the graph schema `E/2`, as wire text.
-/// `handle` routes a slice of the certain-answer traffic through the
-/// cross-request cache.
-fn sample_request(rng: &mut StdRng, schema: &Schema, handle: &str) -> Request {
+/// One randomized request over the graph schema `E/2`, as wire text,
+/// plus the router fragment we *expect* the server to attribute to it
+/// (`None` when the request is not a fragment probe — random shapes,
+/// cache traffic, pings). `handle` routes a slice of the certain-answer
+/// traffic through the cross-request cache.
+fn sample_request(
+    rng: &mut StdRng,
+    schema: &Schema,
+    handle: &str,
+) -> (Request, Option<&'static str>) {
     let schema_text = "E/2".to_owned();
-    match rng.gen_range(0..12u32) {
+    match rng.gen_range(0..15u32) {
         // Path-view determinacy with a known-positive instance (k=2
         // views determine the length-4 query) and a known-negative one.
+        // Chain views + chain query ⇒ the router tags these `path` and
+        // keeps them on the chase.
         0..=2 => {
             let k = rng.gen_range(2..=3usize);
             let m = if rng.gen_range(0..2u32) == 0 { 2 * k } else { k + 1 };
-            Request::Decide {
+            let req = Request::Decide {
                 schema: schema_text,
                 views: path_views(schema, k).as_view_set().to_string(),
                 query: path_query(schema, m).render("Q"),
-            }
+            };
+            (req, Some("path"))
         }
-        // Random small CQs: exercises the chase on varied shapes.
+        // Random small CQs: exercises the chase on varied shapes. The
+        // fragment varies with the draw, so no expectation is pinned —
+        // the reply's own attribution is still folded into the report.
         3..=4 => {
             let p = CqGen { atoms: rng.gen_range(1..=3), vars: rng.gen_range(2..=4), max_head: 2 };
             let views = format!(
@@ -163,42 +182,77 @@ fn sample_request(rng: &mut StdRng, schema: &Schema, handle: &str) -> Request {
                 random_cq(schema, p, rng).render("V0"),
                 random_cq(schema, p, rng).render("V1"),
             );
-            Request::Rewrite {
+            let req = Request::Rewrite {
                 schema: schema_text,
                 views,
                 query: random_cq(schema, p, rng).render("Q"),
-            }
+            };
+            (req, None)
         }
         // Certain answers on a concrete inline extent (small, so the
         // inline path stays cheap; the shared extent goes via handles).
-        5 => Request::Certain {
-            schema: schema_text,
-            views: "V(x,y) :- E(x,y).".to_owned(),
-            query: path_query(schema, 2).render("Q"),
-            extent: "V(A,B). V(B,C). V(C,D).".to_owned(),
-        },
+        5 => {
+            let req = Request::Certain {
+                schema: schema_text,
+                views: "V(x,y) :- E(x,y).".to_owned(),
+                query: path_query(schema, 2).render("Q"),
+                extent: "V(A,B). V(B,C). V(C,D).".to_owned(),
+            };
+            (req, None)
+        }
         // Repeated-extent traffic through the cached handle.
-        6..=8 => certain_by_handle(handle),
+        6..=8 => (certain_by_handle(handle), None),
         // Bounded containment between path queries.
         9 => {
             let k = rng.gen_range(2..=3usize);
-            Request::Containment {
+            let req = Request::Containment {
                 schema: schema_text,
                 q1: path_query(schema, k + 1).render("Q"),
                 q2: path_query(schema, k).render("Q"),
                 max_domain: 2,
                 space_limit: 1 << 12,
-            }
+            };
+            (req, None)
         }
         // One exhaustive semantic scan at domain 2 (cheap but real work).
-        10 => Request::Semantic {
-            schema: schema_text,
-            views: path_views(schema, 2).as_view_set().to_string(),
-            query: path_query(schema, 3).render("Q"),
-            domain: 2,
-            space_limit: 1 << 12,
-        },
-        _ => Request::Ping,
+        10 => {
+            let req = Request::Semantic {
+                schema: schema_text,
+                views: path_views(schema, 2).as_view_set().to_string(),
+                query: path_query(schema, 3).render("Q"),
+                domain: 2,
+                space_limit: 1 << 12,
+            };
+            (req, None)
+        }
+        // Project-select determinacy: single-atom views and query, so
+        // the router must take the direct fast path (no chase, no index
+        // builds) — one determined pair, one refuted pair.
+        11..=12 => {
+            let (views, query) = if rng.gen_range(0..2u32) == 0 {
+                ("V(x,y) :- E(x,y).", "Q(y,x) :- E(x,y).")
+            } else {
+                ("W(x) :- E(x,x).", "Q(x,y) :- E(x,y).")
+            };
+            let req = Request::Decide {
+                schema: schema_text,
+                views: views.to_owned(),
+                query: query.to_owned(),
+            };
+            (req, Some("project-select"))
+        }
+        // Outside both decidable fragments: a two-atom cyclic view is
+        // neither single-atom nor a chain, so the router can only run
+        // the budgeted semi-decision and must say so on the reply.
+        13 => {
+            let req = Request::Decide {
+                schema: schema_text,
+                views: "V(x,y) :- E(x,y), E(y,x).".to_owned(),
+                query: path_query(schema, 2).render("Q"),
+            };
+            (req, Some("undecidable-in-general"))
+        }
+        _ => (Request::Ping, None),
     }
 }
 
@@ -213,6 +267,13 @@ struct ConnStats {
     miss_latencies_ms: Vec<f64>,
     hit_server_ms: Vec<f64>,
     miss_server_ms: Vec<f64>,
+    /// Per-fragment server-side latencies, keyed by the reply's own
+    /// `fragment` attribution (`project-select` / `path` /
+    /// `undecidable-in-general`): the fast-path vs budgeted split.
+    fragment_server_ms: std::collections::BTreeMap<String, Vec<f64>>,
+    /// Probes whose reply attribution disagreed with the client's
+    /// prediction (or was missing). Any nonzero count is a router bug.
+    fragment_mismatches: u64,
     ok: u64,
     exhausted: u64,
     overloaded: u64,
@@ -239,7 +300,7 @@ fn drive_connection(
         client.put_instance("V/2", &*extent).map_err(|e| format!("put: {e}"))?;
     let mut stats = ConnStats::default();
     for _ in 0..requests {
-        let request = sample_request(&mut rng, &schema, &handle);
+        let (request, expected_fragment) = sample_request(&mut rng, &schema, &handle);
         let is_handle_req = matches!(request, Request::CertainHandle { .. });
         let limits = Limits { deadline_ms: Some(deadline_ms), ..Limits::none() };
         let start = Instant::now();
@@ -259,6 +320,24 @@ fn drive_connection(
         }
         let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
         stats.latencies_ms.push(elapsed_ms);
+        if let Some(tag) = &response.fragment {
+            stats
+                .fragment_server_ms
+                .entry(tag.clone())
+                .or_default()
+                .push(response.work.elapsed_ms as f64);
+        }
+        if let Some(expected) = expected_fragment {
+            if response.fragment.as_deref() != Some(expected) {
+                if stats.fragment_mismatches == 0 {
+                    eprintln!(
+                        "loadgen: fragment mismatch: expected {expected}, reply says {:?}",
+                        response.fragment
+                    );
+                }
+                stats.fragment_mismatches += 1;
+            }
+        }
         if is_handle_req && matches!(response.outcome, Outcome::CertainAnswers { .. }) {
             if response.work.index_builds == 0 {
                 stats.hit_latencies_ms.push(elapsed_ms);
@@ -357,6 +436,10 @@ fn main() {
                 all.miss_latencies_ms.extend(s.miss_latencies_ms);
                 all.hit_server_ms.extend(s.hit_server_ms);
                 all.miss_server_ms.extend(s.miss_server_ms);
+                for (tag, ms) in s.fragment_server_ms {
+                    all.fragment_server_ms.entry(tag).or_default().extend(ms);
+                }
+                all.fragment_mismatches += s.fragment_mismatches;
                 all.ok += s.ok;
                 all.exhausted += s.exhausted;
                 all.overloaded += s.overloaded;
@@ -554,6 +637,38 @@ fn main() {
             ]),
         ),
     ];
+    {
+        // Router attribution: one entry per fragment the server tagged,
+        // plus the headline fast-path vs budgeted comparison. Server-side
+        // `elapsed_ms` is used so queueing noise does not blur the split.
+        let mut per_fragment: Vec<(String, Value)> = Vec::new();
+        for (tag, ms) in &mut all.fragment_server_ms {
+            ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            per_fragment.push((
+                tag.clone(),
+                Value::object([
+                    ("count", Value::from(ms.len())),
+                    ("server_p50_ms", Value::from(percentile(ms, 0.50))),
+                    ("server_p95_ms", Value::from(percentile(ms, 0.95))),
+                ]),
+            ));
+        }
+        let p50_of = |tag: &str| {
+            all.fragment_server_ms
+                .get(tag)
+                .map(|ms| percentile(ms, 0.50))
+                .unwrap_or(0.0)
+        };
+        report.push((
+            "fragments".to_owned(),
+            Value::object([
+                ("mismatches", Value::from(all.fragment_mismatches)),
+                ("per_fragment", Value::Obj(per_fragment)),
+                ("fastpath_p50_ms", Value::from(p50_of("project-select"))),
+                ("budgeted_p50_ms", Value::from(p50_of("undecidable-in-general"))),
+            ]),
+        ));
+    }
     if let Some(cache) = cache_counters {
         report.push(("server_cache".to_owned(), cache));
     }
@@ -617,7 +732,17 @@ fn main() {
         percentile(&all.miss_server_ms, 0.50),
         all.reputs
     );
-    if panics > 0 || failures > 0 || completed == 0 {
+    let fragment_line: Vec<String> = all
+        .fragment_server_ms
+        .iter()
+        .map(|(tag, ms)| format!("{tag} x{}", ms.len()))
+        .collect();
+    println!(
+        "fragments: {} | {} mismatches",
+        if fragment_line.is_empty() { "(none)".to_owned() } else { fragment_line.join(", ") },
+        all.fragment_mismatches
+    );
+    if panics > 0 || failures > 0 || completed == 0 || all.fragment_mismatches > 0 {
         std::process::exit(1)
     }
 }

@@ -12,5 +12,6 @@ pub use semantic::{
 };
 pub use unrestricted::{
     decide_finite, decide_finite_budgeted, decide_unrestricted, decide_unrestricted_budgeted,
-    FiniteVerdict, UnrestrictedOutcome,
+    decide_unrestricted_chase_budgeted, ChaseEvidence, FiniteVerdict, UnrestrictedOutcome,
 };
+pub use vqd_router::Fragment;

@@ -21,39 +21,71 @@ use vqd_chase::{proposition_3_5_test_budgeted, try_canonical, Canonical, CqViews
 use vqd_eval::minimize_cq;
 use vqd_instance::Instance;
 use vqd_query::{Cq, QueryExpr};
+use vqd_router::{classify, decide_project_select, Fragment};
+
+/// The chase-side evidence of a Theorem 3.7 decision, kept for
+/// `explain`-style narration. Requests routed down the project-select
+/// fast path decide without ever materializing it.
+#[derive(Clone, Debug)]
+pub struct ChaseEvidence {
+    /// The canonical data (`[Q]`, `S = V([Q])`, candidate `Q_V`).
+    pub canonical: Canonical,
+    /// `V_∅^{-1}(S)` — the chased instance the test evaluates `Q` on.
+    pub chased: Instance,
+}
 
 /// Result of the unrestricted decision procedure.
 #[derive(Clone, Debug)]
 pub struct UnrestrictedOutcome {
     /// Whether `V ↠ Q` holds over unrestricted instances.
     pub determined: bool,
-    /// The canonical data (`[Q]`, `S = V([Q])`, candidate `Q_V`).
-    pub canonical: Canonical,
-    /// `V_∅^{-1}(S)` — the chased instance the test evaluates `Q` on.
-    pub chased: Instance,
     /// The minimized exact rewriting, when determined.
     pub rewriting: Option<Cq>,
+    /// The syntactic fragment the (views, query) pair was classified
+    /// into (see [`vqd_router::classify`]).
+    pub fragment: Fragment,
+    /// Whether the verdict came from a decidable fast path rather than
+    /// the chase test.
+    pub fast_path: bool,
+    /// Chase evidence, present exactly when the chase route ran.
+    pub evidence: Option<Box<ChaseEvidence>>,
 }
 
 impl UnrestrictedOutcome {
-    /// A human-readable trace of the Theorem 3.7 decision: the frozen
-    /// query `[Q]`, its view image `S`, the chased instance
-    /// `V_∅^{-1}(S)`, the membership verdict, and the rewriting (if any).
+    /// A human-readable trace of the decision: for the chase route, the
+    /// frozen query `[Q]`, its view image `S`, the chased instance
+    /// `V_∅^{-1}(S)`, the membership verdict, and the rewriting (if
+    /// any); for a fast-path verdict, the fragment and the routing that
+    /// produced it.
     pub fn explain(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "frozen query [Q] (head = {:?}):", self.canonical.frozen_head);
-        let _ = writeln!(out, "{}", self.canonical.frozen_query);
-        let _ = writeln!(out, "\nview image S = V([Q]):");
-        let _ = writeln!(out, "{}", self.canonical.s);
-        let _ = writeln!(out, "\nchased instance V_inv(S):");
-        let _ = writeln!(out, "{}", self.chased);
         let _ = writeln!(
             out,
-            "\nhead in Q(V_inv(S)): {}  =>  V {} Q (unrestricted)",
-            self.determined,
-            if self.determined { "determines" } else { "does NOT determine" }
+            "fragment: {} — routed to {}",
+            self.fragment.tag(),
+            self.fragment.route()
         );
+        if let Some(ev) = &self.evidence {
+            let _ = writeln!(out, "\nfrozen query [Q] (head = {:?}):", ev.canonical.frozen_head);
+            let _ = writeln!(out, "{}", ev.canonical.frozen_query);
+            let _ = writeln!(out, "\nview image S = V([Q]):");
+            let _ = writeln!(out, "{}", ev.canonical.s);
+            let _ = writeln!(out, "\nchased instance V_inv(S):");
+            let _ = writeln!(out, "{}", ev.chased);
+            let _ = writeln!(
+                out,
+                "\nhead in Q(V_inv(S)): {}  =>  V {} Q (unrestricted)",
+                self.determined,
+                if self.determined { "determines" } else { "does NOT determine" }
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "\ndirect decision (no chase): V {} Q (unrestricted)",
+                if self.determined { "determines" } else { "does NOT determine" }
+            );
+        }
         match &self.rewriting {
             Some(r) => {
                 let _ = writeln!(out, "exact rewriting: {}", r.render("R"));
@@ -102,7 +134,36 @@ pub fn decide_unrestricted(views: &CqViews, q: &Cq) -> UnrestrictedOutcome {
 /// [`VqdError`]s instead of panics or hangs. Exhaustion
 /// ([`VqdError::Exhausted`]) carries the work performed, so an
 /// escalating-budget caller can retry meaningfully.
+///
+/// Requests are routed by [`vqd_router::classify`]: project-select
+/// pairs take the direct polynomial procedure (zero chase rounds, zero
+/// index builds); everything else runs the Theorem 3.7 chase test.
+/// Routing never changes the verdict or the rewriting — only how fast
+/// (and how definitely) they are reached.
 pub fn decide_unrestricted_budgeted(
+    views: &CqViews,
+    q: &Cq,
+    budget: &Budget,
+) -> Result<UnrestrictedOutcome, VqdError> {
+    match classify(views, q) {
+        Fragment::ProjectSelect => {
+            let fast = decide_project_select(views, q, budget)?;
+            Ok(UnrestrictedOutcome {
+                determined: fast.determined,
+                rewriting: fast.rewriting,
+                fragment: Fragment::ProjectSelect,
+                fast_path: true,
+                evidence: None,
+            })
+        }
+        _ => decide_unrestricted_chase_budgeted(views, q, budget),
+    }
+}
+
+/// The un-routed Theorem 3.7 chase test, available directly for parity
+/// testing against the fast paths (and as the routing target for the
+/// path and general fragments).
+pub fn decide_unrestricted_chase_budgeted(
     views: &CqViews,
     q: &Cq,
     budget: &Budget,
@@ -110,7 +171,13 @@ pub fn decide_unrestricted_budgeted(
     let can = try_canonical(views, q)?;
     let (determined, chased) = proposition_3_5_test_budgeted(views, &can, q, budget)?;
     let rewriting = determined.then(|| minimize_cq(&can.q_v));
-    Ok(UnrestrictedOutcome { determined, canonical: can, chased, rewriting })
+    Ok(UnrestrictedOutcome {
+        determined,
+        rewriting,
+        fragment: classify(views, q),
+        fast_path: false,
+        evidence: Some(Box::new(ChaseEvidence { canonical: can, chased })),
+    })
 }
 
 /// Verdict for the finite variant.
@@ -271,13 +338,51 @@ mod tests {
 
     #[test]
     fn rewriting_is_minimized() {
-        // Redundant views: the canonical rewriting has many atoms; the
-        // minimized one should be small.
+        // An identity pair routes down the fast path; its rewriting must
+        // still be the minimized canonical candidate, byte-identical to
+        // what the chase route computes.
         let (v, q) = setup("V(x,y) :- E(x,y).", "Q(x,y) :- E(x,y).");
         let out = decide_unrestricted(&v, &q);
+        assert!(out.fast_path, "identity pair must route to the fast path");
         let r = out.rewriting.unwrap();
         assert_eq!(r.atoms.len(), 1);
-        assert!(cq_equivalent(&r, &out.canonical.q_v));
+        let chase = decide_unrestricted_chase_budgeted(&v, &q, &Budget::unlimited()).unwrap();
+        let canonical = &chase.evidence.as_ref().unwrap().canonical;
+        assert!(cq_equivalent(&r, &canonical.q_v));
+        assert_eq!(r.render("R"), chase.rewriting.unwrap().render("R"));
+    }
+
+    #[test]
+    fn fast_path_agrees_with_chase_on_project_select_pairs() {
+        // Hand-picked project-select pairs spanning projection,
+        // selection (repeated variables), column swap, multiple views,
+        // and non-determinacy: the routed verdict and rewriting must
+        // match the un-routed chase test exactly.
+        let pairs = [
+            ("V(x,y) :- E(x,y).", "Q(x,y) :- E(x,y)."),
+            ("V(y,x) :- E(x,y).", "Q(x) :- E(x,x)."),
+            ("V(x) :- E(x,y).", "Q(x) :- E(x,x)."),
+            ("V(x) :- E(x,x).", "Q(x) :- E(x,x)."),
+            ("V1(x) :- E(x,y).\nV2(y) :- E(x,y).", "Q(x,y) :- E(x,y)."),
+            ("V(x,y,x) :- E(x,y).", "Q(y,x) :- E(x,y)."),
+            ("W(x) :- P(x).", "Q(x,y) :- E(x,y)."),
+            ("B() :- E(x,y).", "Q() :- E(x,y)."),
+            ("B() :- E(x,y).", "Q(x) :- E(x,y)."),
+        ];
+        for (vs, qs) in pairs {
+            let (v, q) = setup(vs, qs);
+            let routed = decide_unrestricted(&v, &q);
+            assert!(routed.fast_path, "{vs} / {qs} must route to the fast path");
+            assert_eq!(routed.fragment, vqd_router::Fragment::ProjectSelect);
+            let chase =
+                decide_unrestricted_chase_budgeted(&v, &q, &Budget::unlimited()).unwrap();
+            assert_eq!(routed.determined, chase.determined, "{vs} / {qs}: verdict differs");
+            assert_eq!(
+                routed.rewriting.map(|r| r.render("R")),
+                chase.rewriting.map(|r| r.render("R")),
+                "{vs} / {qs}: rewriting differs"
+            );
+        }
     }
 
     #[test]

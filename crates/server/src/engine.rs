@@ -34,6 +34,7 @@ use vqd_core::determinacy::{
 use vqd_eval::{contained_bounded_budgeted, BoundedContainment};
 use vqd_instance::{DomainNames, Schema};
 use vqd_query::{parse_instance, parse_program, parse_query, Cq, CqLang, QueryExpr, ViewSet};
+use vqd_router::Fragment;
 
 /// What the engine can reach besides the request itself: the shared
 /// metrics (for [`Request::Stats`]) and the server's shutdown token
@@ -151,9 +152,70 @@ fn render_counterexample(c: &Counterexample, names: &DomainNames) -> WireCounter
     }
 }
 
+/// Folds a classified fragment into the registry and produces the
+/// reply's additive `fragment` note. `routed` is true for the decide
+/// family (where the classification actually picked an execution path),
+/// false for `classify` itself (purely structural, nothing routed).
+fn attribute(fragment: Option<Fragment>, ctx: &EngineCtx, routed: bool) -> Option<&'static str> {
+    let fragment = fragment?;
+    ctx.registry.counter(&format!("router.fragment.{}", fragment.tag())).inc();
+    if routed {
+        let hit = fragment == Fragment::ProjectSelect;
+        ctx.registry
+            .counter(if hit { "router.fastpath.hits" } else { "router.fastpath.misses" })
+            .inc();
+    }
+    Some(fragment.wire_note())
+}
+
 /// Executes one request under `budget`. Never panics on bad input; may
 /// panic only on a genuine engine bug (callers wrap in `catch_unwind`).
+///
+/// Compatibility wrapper over [`execute_attributed`] that drops the
+/// fragment note; embedded callers and most tests only care about the
+/// outcome.
 pub fn execute(request: &Request, budget: &Budget, ctx: &EngineCtx) -> Outcome {
+    execute_attributed(request, budget, ctx).0
+}
+
+/// [`execute`] plus the router's per-request fragment attribution: the
+/// second component is the additive `fragment` wire note
+/// (`project-select` / `path` / `undecidable-in-general`) for the ops
+/// the router classifies, `None` otherwise. The note is attached even
+/// when the outcome is an error or exhaustion — a `general` request
+/// that runs out of budget still tells the client *why* no definite
+/// verdict was possible.
+pub fn execute_attributed(
+    request: &Request,
+    budget: &Budget,
+    ctx: &EngineCtx,
+) -> (Outcome, Option<&'static str>) {
+    match request {
+        Request::Decide { schema, views, query } => {
+            let (res, fragment) = run_decide(schema, views, query, budget);
+            let note = attribute(fragment, ctx, true);
+            let outcome = match res {
+                Ok((determined, rewriting)) => Outcome::Decided { determined, rewriting },
+                Err(o) => o,
+            };
+            (outcome, note)
+        }
+        Request::Rewrite { schema, views, query } => {
+            let (res, fragment) = run_decide(schema, views, query, budget);
+            let note = attribute(fragment, ctx, true);
+            let outcome = match res {
+                Ok((determined, rewriting)) => Outcome::Rewritten { exists: determined, rewriting },
+                Err(o) => o,
+            };
+            (outcome, note)
+        }
+        Request::Classify { schema, views, query } => run_classify(schema, views, query, ctx),
+        other => (execute_unattributed(other, budget, ctx), None),
+    }
+}
+
+/// The ops the router does not classify.
+fn execute_unattributed(request: &Request, budget: &Budget, ctx: &EngineCtx) -> Outcome {
     match request {
         Request::Ping => Outcome::Pong,
         Request::Stats => {
@@ -176,20 +238,8 @@ pub fn execute(request: &Request, budget: &Budget, ctx: &EngineCtx) -> Outcome {
             ctx.shutdown.cancel();
             Outcome::ShuttingDown
         }
-        Request::Decide { schema, views, query } => {
-            match run_decide(schema, views, query, budget) {
-                Ok((determined, rewriting)) => Outcome::Decided { determined, rewriting },
-                Err(o) => o,
-            }
-        }
-        Request::Rewrite { schema, views, query } => {
-            match run_decide(schema, views, query, budget) {
-                Ok((determined, rewriting)) => Outcome::Rewritten {
-                    exists: determined,
-                    rewriting,
-                },
-                Err(o) => o,
-            }
+        Request::Decide { .. } | Request::Rewrite { .. } | Request::Classify { .. } => {
+            unreachable!("attributed ops are handled by execute_attributed")
         }
         Request::Certain { schema, views, query, extent } => {
             run_certain(schema, views, query, extent, budget)
@@ -244,16 +294,60 @@ pub fn execute(request: &Request, budget: &Budget, ctx: &EngineCtx) -> Outcome {
     }
 }
 
+/// Verdict + optional rendered rewriting, or a ready-made error outcome.
+type DecideResult = Result<(bool, Option<String>), Outcome>;
+
+/// Decide/rewrite with fragment attribution. The fragment is classified
+/// *before* the (possibly exhausting) decision runs, so it survives the
+/// `Err` path: an exhausted `general` request still reports its
+/// fragment. Pre-classification failures (parse errors, non-CQ input)
+/// carry no fragment — nothing was classified.
 fn run_decide(
     schema: &str,
     views: &str,
     query: &str,
     budget: &Budget,
-) -> Result<(bool, Option<String>), Outcome> {
-    let pair = parse_pair(schema, views, query)?;
-    let (cq_views, q) = require_cq(&pair)?;
-    let out = decide_unrestricted_budgeted(&cq_views, &q, budget).map_err(vqd_error)?;
-    Ok((out.determined, out.rewriting.map(|r| r.render("R"))))
+) -> (DecideResult, Option<Fragment>) {
+    let pair = match parse_pair(schema, views, query) {
+        Ok(p) => p,
+        Err(o) => return (Err(o), None),
+    };
+    let (cq_views, q) = match require_cq(&pair) {
+        Ok(v) => v,
+        Err(o) => return (Err(o), None),
+    };
+    let fragment = vqd_router::classify(&cq_views, &q);
+    let res = decide_unrestricted_budgeted(&cq_views, &q, budget)
+        .map(|out| (out.determined, out.rewriting.map(|r| r.render("R"))))
+        .map_err(vqd_error);
+    (res, Some(fragment))
+}
+
+/// Purely structural: parse, classify, answer. Never chases, never
+/// builds an index; the only budget this op could spend is parsing,
+/// which is not budgeted, so the work envelope comes back all-zero.
+fn run_classify(
+    schema: &str,
+    views: &str,
+    query: &str,
+    ctx: &EngineCtx,
+) -> (Outcome, Option<&'static str>) {
+    let pair = match parse_pair(schema, views, query) {
+        Ok(p) => p,
+        Err(o) => return (o, None),
+    };
+    // Unlike the decide family, classification accepts *any* parsed
+    // pair: non-CQ views or queries are simply `general`.
+    let fragment = vqd_router::classify_pair(&pair.views, &pair.query);
+    let note = attribute(Some(fragment), ctx, false);
+    (
+        Outcome::Classified {
+            fragment: fragment.tag().to_owned(),
+            decidable: fragment.is_decidable(),
+            route: fragment.route().to_owned(),
+        },
+        note,
+    )
 }
 
 fn run_certain(schema: &str, views: &str, query: &str, extent: &str, budget: &Budget) -> Outcome {

@@ -202,8 +202,8 @@ fn run_job(job: Job, ctx: &EngineCtx) {
     }
     let before = MetricsSnapshot::capture();
     let started = std::time::Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        engine::execute(&envelope.request, &budget, ctx)
+    let (outcome, fragment) = catch_unwind(AssertUnwindSafe(|| {
+        engine::execute_attributed(&envelope.request, &budget, ctx)
     }))
     .unwrap_or_else(|panic| {
         let msg = panic
@@ -215,7 +215,7 @@ fn run_job(job: Job, ctx: &EngineCtx) {
         // the worker thread survives, and the counter makes the event
         // visible to `stats`/BENCH instead of silently absorbed.
         ctx.registry.counter("server.worker_panics").inc();
-        Outcome::Error { kind: ErrorKind::Internal, message: msg }
+        (Outcome::Error { kind: ErrorKind::Internal, message: msg }, None)
     });
     let elapsed_ms = started.elapsed().as_millis() as u64;
     let profile = MetricsSnapshot::capture().diff(&before);
@@ -229,6 +229,9 @@ fn run_job(job: Job, ctx: &EngineCtx) {
     work.index_builds = profile.get(Metric::IndexBuilds);
     work.index_tuples = profile.get(Metric::IndexDeltaTuples);
     let mut response = Response::new(envelope.id.clone(), outcome, work);
+    if let Some(fragment) = fragment {
+        response = response.with_fragment(fragment);
+    }
     if envelope.profile {
         response = response.with_profile(profile);
     }

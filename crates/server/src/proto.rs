@@ -132,6 +132,19 @@ pub enum Request {
     },
     /// Snapshot of the cross-request cache counters.
     CacheStats,
+    /// Syntactic fragment classification of a (views, query) pair:
+    /// which decidability fragment it falls in and how a determinacy
+    /// request over it would be routed. Purely structural — never
+    /// parses instances, never chases, never consumes budget beyond
+    /// parsing.
+    Classify {
+        /// Schema spec.
+        schema: String,
+        /// View definitions.
+        views: String,
+        /// The query.
+        query: String,
+    },
     /// Bounded semantic containment `q1 ⊆ q2` by exhaustive search.
     Containment {
         /// Schema spec.
@@ -192,6 +205,7 @@ impl Request {
             Request::PutInstance { .. } => "put_instance",
             Request::EvictInstance { .. } => "evict_instance",
             Request::CacheStats => "cache_stats",
+            Request::Classify { .. } => "classify",
             Request::Containment { .. } => "containment",
             Request::Finite { .. } => "decide_finite",
             Request::Semantic { .. } => "check_exhaustive",
@@ -457,6 +471,19 @@ pub enum Outcome {
         /// Live segment bytes.
         disk_bytes: u64,
     },
+    /// Reply to [`Request::Classify`]: the syntactic fragment of the
+    /// pair and how determinacy requests over it are routed.
+    Classified {
+        /// Fragment tag: `"project-select"`, `"path"`, or `"general"`.
+        fragment: String,
+        /// Whether a terminating decision procedure exists for the
+        /// fragment (`false` for `general` — determinacy there is
+        /// undecidable and only the budgeted semi-decision runs).
+        decidable: bool,
+        /// One-line description of the route taken by `decide`-family
+        /// requests in this fragment.
+        route: String,
+    },
     /// Verdict of the bounded containment check.
     Contained {
         /// `"no-counterexample"`, `"refuted"`, or `"too-large"`.
@@ -551,6 +578,11 @@ pub struct Response {
     /// Span events recorded while executing this request, as JSONL (one
     /// span per line). Present only when the envelope set `trace`.
     pub trace: Option<String>,
+    /// Fragment attribution for determinacy-family requests: the honest
+    /// routing note (`"project-select"`, `"path"`, or
+    /// `"undecidable-in-general"`). Additive — absent for other ops and
+    /// from pre-router servers, and absent keys decode to `None`.
+    pub fragment: Option<String>,
 }
 
 impl Response {
@@ -563,6 +595,7 @@ impl Response {
             work,
             profile: None,
             trace: None,
+            fragment: None,
         }
     }
 
@@ -575,6 +608,12 @@ impl Response {
     /// Attaches a span trace (JSONL).
     pub fn with_trace(mut self, trace: impl Into<String>) -> Response {
         self.trace = Some(trace.into());
+        self
+    }
+
+    /// Attaches the fragment-routing note (determinacy-family ops).
+    pub fn with_fragment(mut self, fragment: impl Into<String>) -> Response {
+        self.fragment = Some(fragment.into());
         self
     }
 
@@ -641,6 +680,11 @@ impl Envelope {
                 s("handle", handle);
             }
             Request::CacheStats => {}
+            Request::Classify { schema, views, query } => {
+                s("schema", schema);
+                s("views", views);
+                s("query", query);
+            }
             Request::Containment { schema, q1, q2, max_domain, space_limit } => {
                 s("schema", schema);
                 s("q1", q1);
@@ -771,6 +815,11 @@ impl Envelope {
             },
             "evict_instance" => Request::EvictInstance { handle: text("handle")? },
             "cache_stats" => Request::CacheStats,
+            "classify" => Request::Classify {
+                schema: text("schema")?,
+                views: text("views")?,
+                query: text("query")?,
+            },
             "containment" => Request::Containment {
                 schema: text("schema")?,
                 q1: text("q1")?,
@@ -898,6 +947,12 @@ impl Response {
                 }
                 "cache-stats"
             }
+            Outcome::Classified { fragment, decidable, route } => {
+                result.push(("fragment".to_owned(), Value::from(fragment.clone())));
+                result.push(("decidable".to_owned(), Value::from(*decidable)));
+                result.push(("route".to_owned(), Value::from(route.clone())));
+                "classified"
+            }
             Outcome::Contained { verdict, bound, witness } => {
                 result.push(("verdict".to_owned(), Value::from(verdict.clone())));
                 num_field(&mut result, "bound", *bound);
@@ -978,6 +1033,9 @@ impl Response {
         if let Some(t) = &self.trace {
             obj.push(("trace".to_owned(), Value::from(t.clone())));
         }
+        if let Some(f) = &self.fragment {
+            obj.push(("fragment".to_owned(), Value::from(f.clone())));
+        }
         obj.push(("result".to_owned(), Value::Obj(result)));
         Value::Obj(obj)
     }
@@ -1057,6 +1115,11 @@ impl Response {
                     disk_bytes: g("disk_bytes"),
                 }
             }
+            "classified" => Outcome::Classified {
+                fragment: text("fragment")?,
+                decidable: r.get("decidable").and_then(Value::as_bool).unwrap_or(false),
+                route: text("route")?,
+            },
             "containment" => Outcome::Contained {
                 verdict: text("verdict")?,
                 bound: r.get("bound").and_then(Value::as_u64),
@@ -1115,7 +1178,10 @@ impl Response {
         };
         let profile = v.get("profile").and_then(MetricsSnapshot::from_json);
         let trace = v.get("trace").and_then(Value::as_str).map(str::to_owned);
-        Ok(Response { version, id, outcome, work, profile, trace })
+        // Additive: replies from pre-router servers carry no `fragment`
+        // key, which decodes to `None`.
+        let fragment = v.get("fragment").and_then(Value::as_str).map(str::to_owned);
+        Ok(Response { version, id, outcome, work, profile, trace, fragment })
     }
 
     /// Parses a response from one wire line.
@@ -1184,6 +1250,13 @@ impl std::fmt::Display for Outcome {
                      disk_promotions {disk_promotions}, \
                      disk_corrupt_dropped {disk_corrupt_dropped}, \
                      disk_io_errors {disk_io_errors}"
+                )
+            }
+            Outcome::Classified { fragment, decidable, route } => {
+                write!(
+                    f,
+                    "fragment: {fragment} ({}) — {route}",
+                    if *decidable { "decidable" } else { "undecidable-in-general" }
                 )
             }
             Outcome::Contained { verdict, bound, witness } => {
@@ -1350,6 +1423,61 @@ mod tests {
             Request::EvictInstance { handle: "h42".into() },
         ));
         round_trip_envelope(Envelope::new("cs", Limits::none(), Request::CacheStats));
+        round_trip_envelope(Envelope::new(
+            "cl",
+            Limits::none(),
+            Request::Classify {
+                schema: "E/2".into(),
+                views: "V(x,y) :- E(x,y).".into(),
+                query: "Q(x) :- E(x,x).".into(),
+            },
+        ));
+    }
+
+    #[test]
+    fn classified_outcome_round_trips_with_fragment_note() {
+        let r = Response::new(
+            "cl",
+            Outcome::Classified {
+                fragment: "project-select".into(),
+                decidable: true,
+                route: "direct polynomial decision procedure".into(),
+            },
+            WireStats::default(),
+        )
+        .with_fragment("project-select");
+        let line = r.to_json().to_string();
+        assert!(!line.contains('\n'));
+        let back = Response::from_line(&line).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.fragment.as_deref(), Some("project-select"));
+    }
+
+    #[test]
+    fn absent_fragment_field_decodes_as_none() {
+        // A pre-router reply has no `fragment` key: the new field is
+        // additive, exactly like `profile`/`trace`/`disk_*`.
+        let line = r#"{"v":1,"id":"x","status":"ok",
+            "work":{"steps":0,"tuples":0,"elapsed_ms":0,"index_builds":0,"index_tuples":0},
+            "result":{"kind":"pong"}}"#
+            .replace('\n', "");
+        let back = Response::from_line(&line).unwrap();
+        assert_eq!(back.fragment, None);
+    }
+
+    #[test]
+    fn fragment_field_is_additive_on_otherwise_identical_replies() {
+        // The same reply with and without attribution differs ONLY in
+        // the `fragment` key: stripping it restores the v1 bytes.
+        let base = Response::new(
+            "d",
+            Outcome::Decided { determined: true, rewriting: Some("R(x) :- V(x).".into()) },
+            WireStats::default(),
+        );
+        let v1 = base.clone().to_json().to_string();
+        let v2 = base.with_fragment("project-select").to_json().to_string();
+        assert_ne!(v1, v2);
+        assert_eq!(v2.replace(r#","fragment":"project-select""#, ""), v1);
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //!                 [--deadline-ms N] [--step-limit N] [--tuple-limit N] \
 //!                 [--profile] [--trace]
 //!
-//! vqd-cli put     [--addr 127.0.0.1:7471] --schema "V/2" --extent "V(a,b)."
-//! vqd-cli evict   [--addr 127.0.0.1:7471] --handle h1
-//! vqd-cli stats   [--addr 127.0.0.1:7471]
+//! vqd-cli put      [--addr 127.0.0.1:7471] --schema "V/2" --extent "V(a,b)."
+//! vqd-cli evict    [--addr 127.0.0.1:7471] --handle h1
+//! vqd-cli stats    [--addr 127.0.0.1:7471]
+//! vqd-cli classify [--addr 127.0.0.1:7471] --schema "E/2" --views "..." --query "..."
 //! ```
 //!
 //! Views and query may also be read from files (`@path`). Running with
@@ -37,6 +38,12 @@
 //! prints the server-wide registry: per-op request counts and latency
 //! histograms, queue high-water mark, uptime.
 //!
+//! `classify` asks a running server which *fragment* a (views, query)
+//! pair falls in — `project-select` and `path` route to decidable
+//! procedures, `general` to the budgeted semi-decision — without
+//! chasing anything; determinacy replies carry the same attribution as
+//! a `fragment:` line.
+//!
 //! `--cache-dir PATH` makes the cache persistent: derived entries spill
 //! to an append-only checksummed segment and the handle table is
 //! snapshotted, so a killed-and-restarted server answers its first
@@ -51,7 +58,7 @@ use vqd::instance::{DomainNames, Schema};
 use vqd::query::{parse_program, parse_query, CqLang, QueryExpr, ViewSet};
 use vqd::server::{self, Client, Limits, Outcome, Request, ServerCaps, ServerConfig};
 
-const USAGE: &str = "usage: vqd-cli <analyze|serve|request|put|evict|stats> [flags] \
+const USAGE: &str = "usage: vqd-cli <analyze|serve|request|put|evict|stats|classify> [flags] \
                      (see `vqd-cli <subcommand> --help`)";
 
 fn die(msg: &str) -> ! {
@@ -73,6 +80,7 @@ fn main() {
         Some("put") => cmd_put(&argv[1..]),
         Some("evict") => cmd_evict(&argv[1..]),
         Some("stats") => cmd_stats(&argv[1..]),
+        Some("classify") => cmd_classify(&argv[1..]),
         // Original flag-only invocation: treat as `analyze`.
         Some(flag) if flag.starts_with("--") => cmd_analyze(&argv),
         Some(other) => die(&format!("unknown subcommand `{other}`")),
@@ -306,7 +314,7 @@ fn cmd_serve(argv: &[String]) {
 fn request_usage() -> ! {
     eprintln!(
         "usage: vqd-cli request [--addr HOST:PORT] --op \
-         <ping|decide|rewrite|certain|containment|finite|semantic|put_instance|\
+         <ping|decide|rewrite|classify|certain|containment|finite|semantic|put_instance|\
          evict_instance|cache_stats|stats|shutdown> \
          [--schema S] [--views V] [--query Q] [--extent E | --handle H] \
          [--q1 Q] [--q2 Q] [--max-domain N] [--domain N] [--space-limit N] \
@@ -367,6 +375,7 @@ fn cmd_request(argv: &[String]) {
             Request::Decide { schema, views, query }
         }
         "rewrite" => Request::Rewrite { schema, views, query },
+        "classify" => Request::Classify { schema, views, query },
         "certain" | "certain_sound" if !handle.is_empty() => {
             Request::CertainHandle { schema, views, query, handle }
         }
@@ -397,6 +406,9 @@ fn cmd_request(argv: &[String]) {
             std::process::exit(1)
         });
     println!("{}", response.outcome);
+    if let Some(fragment) = &response.fragment {
+        println!("[fragment: {fragment}]");
+    }
     println!(
         "[{} steps, {} tuples, {} index builds, {} ms server-side]",
         response.work.steps, response.work.tuples, response.work.index_builds,
@@ -506,6 +518,48 @@ fn cmd_evict(argv: &[String]) {
     println!("{}", response.outcome);
     std::process::exit(match &response.outcome {
         Outcome::Evicted { .. } => 0,
+        _ => 3,
+    });
+}
+
+// ---------------------------------------------------------------------
+// `classify`
+// ---------------------------------------------------------------------
+
+fn cmd_classify(argv: &[String]) {
+    let mut addr = "127.0.0.1:7471".to_owned();
+    let mut schema = String::new();
+    let mut views = String::new();
+    let mut query = String::new();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value_of(&mut it, flag),
+            "--schema" => schema = load(&value_of(&mut it, flag)),
+            "--views" => views = load(&value_of(&mut it, flag)),
+            "--query" => query = load(&value_of(&mut it, flag)),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: vqd-cli classify [--addr HOST:PORT] --schema \"E/2\" \
+                     --views \"<rules or @file>\" --query \"<rule or @file>\""
+                );
+                std::process::exit(2)
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    if schema.is_empty() || views.is_empty() || query.is_empty() {
+        die("`classify` needs --schema, --views, and --query");
+    }
+    let response = connect(&addr)
+        .call(Limits::none(), Request::Classify { schema, views, query })
+        .unwrap_or_else(|e| {
+            eprintln!("classify failed: {e}");
+            std::process::exit(1)
+        });
+    println!("{}", response.outcome);
+    std::process::exit(match &response.outcome {
+        Outcome::Classified { .. } => 0,
         _ => 3,
     });
 }

@@ -11,6 +11,8 @@
 //! * [`vqd_datalog`] — a semi-naive Datalog engine (monotone baseline);
 //! * [`vqd_monoid`] — finite monoidal functions and the word problem;
 //! * [`vqd_turing`] — Turing machines encoded as FO sentences (Theorem 5.1);
+//! * [`vqd_router`] — the syntactic fragment classifier and decidable
+//!   fast paths determinacy requests are routed through;
 //! * [`vqd_core`] — determinacy checking, rewriting, and every construction
 //!   of the paper;
 //! * [`vqd_budget`] — resource governance: budgets, deadlines, cooperative
@@ -29,5 +31,6 @@ pub use vqd_instance as instance;
 pub use vqd_monoid as monoid;
 pub use vqd_obs as obs;
 pub use vqd_query as query;
+pub use vqd_router as router;
 pub use vqd_server as server;
 pub use vqd_turing as turing;

@@ -158,6 +158,62 @@ fn chase_decision_survives_faults_at_every_checkpoint() {
     });
 }
 
+/// The router's project-select fast path is an engine like any other:
+/// it must reach checkpoints (be governed), trip with exact work stats
+/// at every one of them, and recover to the baseline verdict. The pair
+/// is pinned to the project-select fragment, so `decide_unrestricted`
+/// is exercising the direct procedure here, not the chase.
+#[test]
+fn fast_path_decision_survives_faults_at_every_checkpoint() {
+    use vqd::router::{classify, Fragment};
+
+    let schema = Schema::new([("E", 2), ("P", 1)]);
+    let (views, q, _) = setup(
+        &schema,
+        "V(x,y) :- E(x,y). W(x) :- P(x).",
+        "Q(y,x) :- E(x,y).",
+    );
+    assert_eq!(classify(&views, &q), Fragment::ProjectSelect);
+    fault_sweep("decide_unrestricted(fast path)", |b| {
+        match decide_unrestricted_budgeted(&views, &q, b) {
+            Ok(out) => {
+                assert!(out.fast_path, "project-select pair must take the fast path");
+                Ok((out.determined, out.rewriting.map(|r| r.render("R"))))
+            }
+            Err(VqdError::Exhausted(e)) => Err(e),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    });
+}
+
+/// Outside both decidable fragments the router can only run the
+/// budgeted semi-decision; under a starved budget that route must
+/// degrade to `Exhausted` with exact completed-work stats (the sweep
+/// asserts `steps == n - 1` at every trip point), never a panic or a
+/// silent wrong verdict.
+#[test]
+fn general_route_survives_faults_and_reports_exact_work() {
+    use vqd::router::{classify, Fragment};
+
+    let schema = Schema::new([("E", 2), ("P", 1)]);
+    let (views, q, _) = setup(
+        &schema,
+        "V(x,z) :- E(x,y), E(y,z), P(y).",
+        "Q(x,z) :- E(x,y), E(y,z), P(y).",
+    );
+    assert_eq!(classify(&views, &q), Fragment::General);
+    fault_sweep("decide_unrestricted(general route)", |b| {
+        match decide_unrestricted_budgeted(&views, &q, b) {
+            Ok(out) => {
+                assert!(!out.fast_path, "general pair must not take the fast path");
+                Ok((out.determined, out.rewriting.map(|r| r.render("R"))))
+            }
+            Err(VqdError::Exhausted(e)) => Err(e),
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    });
+}
+
 #[test]
 fn finite_decision_survives_faults_at_every_checkpoint() {
     let schema = Schema::new([("E", 2)]);
