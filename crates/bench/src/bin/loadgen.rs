@@ -26,9 +26,18 @@
 //!
 //! ```text
 //! loadgen [--conns 32] [--requests 25] [--workers 4] [--queue-depth 64]
-//!         [--deadline-ms 500] [--seed 7] [--out BENCH_server.json]
-//!         [--addr HOST:PORT] [--smoke]
+//!         [--io-threads 2] [--idle-conns 0] [--deadline-ms 500] [--seed 7]
+//!         [--out BENCH_server.json] [--addr HOST:PORT] [--smoke]
 //! ```
+//!
+//! `--idle-conns N` (in-process runs) appends a mostly-idle-connections
+//! phase after the load drains: N live connections are held from a
+//! single thread while the process's thread count and CPU time are
+//! sampled from `/proc/self` — the readiness-driven serving layer must
+//! hold them all with at most I/O threads + worker pool + 2 threads and
+//! flat CPU — then ping latency is measured at pipelined depth 1 vs 8.
+//! The results land in the report's `connections` section, and a
+//! violated bound fails the run.
 //!
 //! `--smoke` shrinks the run for CI (few connections, few requests).
 //! Exit code 0 means every connection thread completed without a panic
@@ -59,6 +68,8 @@ struct Args {
     requests: usize,
     workers: usize,
     queue_depth: usize,
+    io_threads: usize,
+    idle_conns: usize,
     deadline_ms: u64,
     seed: u64,
     out: String,
@@ -70,8 +81,8 @@ fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: loadgen [--conns N] [--requests N] [--workers N] [--queue-depth N] \
-         [--deadline-ms N] [--seed N] [--out PATH] [--addr HOST:PORT] \
-         [--cache-dir PATH] [--smoke]"
+         [--io-threads N] [--idle-conns N] [--deadline-ms N] [--seed N] [--out PATH] \
+         [--addr HOST:PORT] [--cache-dir PATH] [--smoke]"
     );
     std::process::exit(2)
 }
@@ -82,6 +93,8 @@ fn parse_args() -> Args {
         requests: 25,
         workers: 4,
         queue_depth: 64,
+        io_threads: 2,
+        idle_conns: 0,
         deadline_ms: 500,
         seed: 7,
         out: "BENCH_server.json".to_owned(),
@@ -101,6 +114,8 @@ fn parse_args() -> Args {
             "--requests" => args.requests = num(&mut it, flag) as usize,
             "--workers" => args.workers = num(&mut it, flag) as usize,
             "--queue-depth" => args.queue_depth = num(&mut it, flag) as usize,
+            "--io-threads" => args.io_threads = num(&mut it, flag) as usize,
+            "--idle-conns" => args.idle_conns = num(&mut it, flag) as usize,
             "--deadline-ms" => args.deadline_ms = num(&mut it, flag),
             "--seed" => args.seed = num(&mut it, flag),
             "--out" => {
@@ -374,13 +389,215 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 /// Caps for an in-process server; `--cache-dir` turns on the
 /// persistent tier so the restart phase has something to survive on.
-fn in_process_caps(cache_dir: Option<&str>) -> ServerCaps {
-    let mut caps =
-        ServerCaps { max_deadline: Duration::from_secs(5), ..ServerCaps::default() };
+fn in_process_caps(cache_dir: Option<&str>, io_threads: usize) -> ServerCaps {
+    let mut caps = ServerCaps {
+        max_deadline: Duration::from_secs(5),
+        io_threads,
+        ..ServerCaps::default()
+    };
     if let Some(dir) = cache_dir {
         caps.cache.disk = Some(DiskConfig::at(std::path::PathBuf::from(dir)));
     }
     caps
+}
+
+/// Threads currently alive in this process (`/proc/self/status`).
+/// Returns 0 when unreadable (non-Linux), which disables the bound
+/// assertion rather than failing the run.
+fn read_thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Total process CPU time in milliseconds (`/proc/self/stat`
+/// utime+stime at the usual 100Hz tick). Returns `None` when
+/// unreadable, which skips the idle-CPU assertion.
+fn read_cpu_ms() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Fields after the comm field (which may itself contain spaces):
+    // state is field 3, utime field 14, stime field 15.
+    let rest = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) * 10)
+}
+
+/// One blocking newline-framed round trip on a raw socket.
+fn raw_round_trip(stream: &mut std::net::TcpStream, line: &str) -> Result<(), String> {
+    use std::io::Read as _;
+    stream.write_all(line.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 256];
+    loop {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_owned());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.contains(&b'\n') {
+            return Ok(());
+        }
+    }
+}
+
+/// The mostly-idle-connections phase: hold `n` live connections from
+/// this one thread, prove the process thread count stays bounded by
+/// I/O threads + worker pool + 2 and that the idle fleet consumes no
+/// CPU, then measure ping latency at pipelined depth 1 vs 8. Returns
+/// the report section and whether every bound held.
+fn connections_phase(
+    addr: std::net::SocketAddr,
+    n: usize,
+    io_threads: usize,
+    workers: usize,
+) -> (Value, bool) {
+    let mut ok = true;
+    // 2 fds per connection for in-process runs (client end + accepted
+    // end live in the same process), plus slack for everything else.
+    let limit = vqd_server::netpoll::raise_nofile_limit(2 * n as u64 + 512);
+    if limit < 2 * n as u64 + 64 {
+        eprintln!("loadgen: fd limit {limit} may be too low for {n} connections");
+    }
+    let ping_line = "{\"v\":1,\"id\":\"idle\",\"request\":{\"op\":\"ping\"}}\n";
+    let opened = Instant::now();
+    let mut held = Vec::with_capacity(n);
+    let mut conn_failures = 0u64;
+    for _ in 0..n {
+        match std::net::TcpStream::connect(addr) {
+            Ok(mut stream) => {
+                stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+                // One round trip so the connection is fully registered
+                // with an event loop (not just sitting in the backlog).
+                match raw_round_trip(&mut stream, ping_line) {
+                    Ok(()) => held.push(stream),
+                    Err(e) => {
+                        if conn_failures == 0 {
+                            eprintln!("loadgen: idle conn ping failed: {e}");
+                        }
+                        conn_failures += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                if conn_failures == 0 {
+                    eprintln!("loadgen: idle conn connect failed: {e}");
+                }
+                conn_failures += 1;
+            }
+        }
+    }
+    let open_ms = opened.elapsed().as_secs_f64() * 1e3;
+    if conn_failures > 0 {
+        ok = false;
+    }
+
+    // Idle window: with every connection parked in the poll set, the
+    // event loops sleep indefinitely — process CPU time must stay flat.
+    let cpu_before = read_cpu_ms();
+    std::thread::sleep(Duration::from_secs(2));
+    let idle_cpu_ms =
+        match (cpu_before, read_cpu_ms()) {
+            (Some(b), Some(a)) => Some(a.saturating_sub(b)),
+            _ => None,
+        };
+    let threads_used = read_thread_count();
+    let thread_bound = (io_threads + workers + 2) as u64;
+    if threads_used > thread_bound {
+        eprintln!(
+            "loadgen: thread count {threads_used} exceeds bound {thread_bound} \
+             ({io_threads} I/O + {workers} workers + 2)"
+        );
+        ok = false;
+    }
+    if let Some(ms) = idle_cpu_ms {
+        // 1k idle connections over a 2s window: anything beyond a small
+        // scheduling residue means something is spinning.
+        if ms > 500 {
+            eprintln!("loadgen: {ms}ms of CPU burned while every connection was idle");
+            ok = false;
+        }
+    }
+
+    // Latency under pipelining, with the idle fleet still held: depth 1
+    // (call/response) vs depth 8 (eight requests written before any
+    // reply is read; per-request cost is the batch time over 8).
+    let depth = |client: &mut Client, batch: usize, rounds: usize| -> Vec<f64> {
+        let mut per_request_ms = Vec::with_capacity(batch * rounds);
+        for _ in 0..rounds {
+            let requests: Vec<(Limits, Request)> =
+                (0..batch).map(|_| (Limits::none(), Request::Ping)).collect();
+            let started = Instant::now();
+            match client.call_many(requests) {
+                Ok(replies) => {
+                    let each = started.elapsed().as_secs_f64() * 1e3 / replies.len().max(1) as f64;
+                    per_request_ms.extend(std::iter::repeat_n(each, replies.len()));
+                }
+                Err(e) => {
+                    eprintln!("loadgen: pipelined batch failed: {e}");
+                    break;
+                }
+            }
+        }
+        per_request_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        per_request_ms
+    };
+    let (depth1, depth8) = match Client::connect(addr) {
+        Ok(mut client) => {
+            client.set_read_timeout(Some(Duration::from_secs(30))).ok();
+            (depth(&mut client, 1, 200), depth(&mut client, 8, 25))
+        }
+        Err(e) => {
+            eprintln!("loadgen: depth-phase connect failed: {e}");
+            ok = false;
+            (Vec::new(), Vec::new())
+        }
+    };
+    drop(held);
+
+    println!(
+        "connections: held {} (of {n}) in {open_ms:.0}ms | {threads_used} threads \
+         (bound {thread_bound}) | idle cpu {} | ping p50 depth1 {:.3}ms vs depth8 {:.3}ms",
+        n as u64 - conn_failures,
+        idle_cpu_ms.map_or("n/a".to_owned(), |ms| format!("{ms}ms")),
+        percentile(&depth1, 0.50),
+        percentile(&depth8, 0.50),
+    );
+    let section = Value::object([
+        ("conns_held", Value::from(n as u64 - conn_failures)),
+        ("conn_failures", Value::from(conn_failures)),
+        ("open_ms", Value::from(open_ms)),
+        ("threads_used", Value::from(threads_used)),
+        ("thread_bound", Value::from(thread_bound)),
+        ("io_threads", Value::from(io_threads)),
+        ("workers", Value::from(workers)),
+        (
+            "idle_cpu_ms",
+            idle_cpu_ms.map_or(Value::Null, Value::from),
+        ),
+        (
+            "pipelined_depth1_ms",
+            Value::object([
+                ("p50", Value::from(percentile(&depth1, 0.50))),
+                ("p95", Value::from(percentile(&depth1, 0.95))),
+            ]),
+        ),
+        (
+            "pipelined_depth8_ms",
+            Value::object([
+                ("p50", Value::from(percentile(&depth8, 0.50))),
+                ("p95", Value::from(percentile(&depth8, 0.95))),
+            ]),
+        ),
+    ]);
+    (section, ok)
 }
 
 fn main() {
@@ -397,7 +614,7 @@ fn main() {
                 addr: "127.0.0.1:0".to_owned(),
                 workers: args.workers,
                 queue_depth: args.queue_depth,
-                caps: in_process_caps(args.cache_dir.as_deref()),
+                caps: in_process_caps(args.cache_dir.as_deref(), args.io_threads),
             })
             .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
             (handle.addr(), Some(handle))
@@ -496,6 +713,19 @@ fn main() {
             ])),
             _ => None,
         });
+    // Hold a mostly-idle connection fleet against the (still running)
+    // server, proving the readiness-driven layer keeps its thread and
+    // idle-CPU bounds, and measure pipelined depth-1 vs depth-8 pings.
+    // Thread/CPU accounting reads /proc/self, so the phase only proves
+    // anything for in-process runs.
+    let (connections_report, connections_ok) =
+        if args.idle_conns > 0 && handle.is_some() {
+            let (section, ok) =
+                connections_phase(addr, args.idle_conns, args.io_threads, args.workers);
+            (Some(section), ok)
+        } else {
+            (None, true)
+        };
     // With a persistent cache dir, bracket a kill-and-restart: register
     // one more handle, capture its baseline answer while the first
     // server is alive, then (after the shutdown below) bring a fresh
@@ -521,7 +751,7 @@ fn main() {
             addr: "127.0.0.1:0".to_owned(),
             workers: args.workers,
             queue_depth: args.queue_depth,
-            caps: in_process_caps(args.cache_dir.as_deref()),
+            caps: in_process_caps(args.cache_dir.as_deref(), args.io_threads),
         })
         .ok()?;
         let cold_start_ms = spawn_started.elapsed().as_secs_f64() * 1e3;
@@ -672,6 +902,9 @@ fn main() {
     if let Some(cache) = cache_counters {
         report.push(("server_cache".to_owned(), cache));
     }
+    if let Some(connections) = connections_report {
+        report.push(("connections".to_owned(), connections));
+    }
     if let Some(restart) = restart_report {
         report.push(("restart".to_owned(), restart));
     }
@@ -742,7 +975,12 @@ fn main() {
         if fragment_line.is_empty() { "(none)".to_owned() } else { fragment_line.join(", ") },
         all.fragment_mismatches
     );
-    if panics > 0 || failures > 0 || completed == 0 || all.fragment_mismatches > 0 {
+    if panics > 0
+        || failures > 0
+        || completed == 0
+        || all.fragment_mismatches > 0
+        || !connections_ok
+    {
         std::process::exit(1)
     }
 }

@@ -1,9 +1,12 @@
 //! Blocking client for the vqd wire protocol.
 //!
 //! One [`Client`] owns one TCP connection and issues requests in order:
-//! write one envelope line, read one response line. For concurrency,
-//! open several clients — the server multiplexes connections onto its
-//! worker pool.
+//! write one envelope line, read one response line — or, with
+//! [`Client::call_many`], pipeline a whole batch (write every request
+//! before reading any reply; the server answers in request order). For
+//! concurrency, open several clients — the server multiplexes
+//! connections onto a fixed set of event-loop threads and its worker
+//! pool.
 //!
 //! ## Resilience
 //!
@@ -185,6 +188,69 @@ impl Client {
     pub fn call_traced(&mut self, limits: Limits, request: Request) -> io::Result<Response> {
         let id = self.fresh_id();
         self.send(Envelope::new(id, limits, request).with_trace(true))
+    }
+
+    /// Pipelined batch: writes every request before reading any reply,
+    /// then reads exactly one reply per request. The server guarantees
+    /// replies arrive in request order per connection, and this method
+    /// verifies it — a reply whose id does not match the next expected
+    /// request is an `InvalidData` transport error.
+    ///
+    /// Batches are never retried (a mid-batch resend could not tell
+    /// which requests the server already executed); protocol-level
+    /// failures (`overloaded`, `exhausted`, errors) come back as
+    /// structured outcomes at their request's position.
+    pub fn call_many(
+        &mut self,
+        requests: Vec<(Limits, Request)>,
+    ) -> io::Result<Vec<Response>> {
+        self.call_many_inner(requests, false)
+    }
+
+    /// [`Client::call_many`] with per-request execution profiles
+    /// attached to each reply (engine counter deltas stay exact per
+    /// request even under pipelining: workers serve one job at a time).
+    pub fn call_many_profiled(
+        &mut self,
+        requests: Vec<(Limits, Request)>,
+    ) -> io::Result<Vec<Response>> {
+        self.call_many_inner(requests, true)
+    }
+
+    fn call_many_inner(
+        &mut self,
+        requests: Vec<(Limits, Request)>,
+        profiled: bool,
+    ) -> io::Result<Vec<Response>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut ids = Vec::with_capacity(requests.len());
+        let mut batch = String::new();
+        for (limits, request) in requests {
+            let id = self.fresh_id();
+            let envelope = Envelope::new(id.clone(), limits, request).with_profile(profiled);
+            batch.push_str(&envelope.to_json().to_string());
+            batch.push('\n');
+            ids.push(id);
+        }
+        self.writer.write_all(batch.as_bytes())?;
+        self.writer.flush()?;
+        let mut replies = Vec::with_capacity(ids.len());
+        for expected in &ids {
+            let response = self.read_response()?;
+            if &response.id != expected {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "pipelined reply out of order: expected id {expected:?}, got {:?}",
+                        response.id
+                    ),
+                ));
+            }
+            replies.push(response);
+        }
+        Ok(replies)
     }
 
     fn send(&mut self, envelope: Envelope) -> io::Result<Response> {

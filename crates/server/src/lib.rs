@@ -9,8 +9,15 @@
 //! * **wire protocol** ([`proto`]): newline-delimited JSON envelopes
 //!   with a version tag, correlation ids, client-requested limits, and
 //!   a structured error taxonomy;
+//! * **readiness-driven I/O** ([`netpoll`], [`server`]): a small fixed
+//!   set of event-loop threads multiplexes every connection over
+//!   non-blocking sockets via level-triggered `poll(2)` — idle
+//!   connections consume zero CPU, and pipelined requests on one
+//!   connection are answered strictly in request order;
 //! * **admission control** ([`pool`]): a bounded request queue; a full
 //!   queue rejects instantly with `overloaded` instead of buffering;
+//!   two more backpressure tiers (per-connection in-flight caps and a
+//!   global connection limit) degrade the same way;
 //! * **budget clamping** ([`server`]): every request runs under
 //!   `min(client limits, server caps)` via [`vqd_budget::Budget::min_of`],
 //!   degrading to structured `exhausted` replies with partial progress;
@@ -62,6 +69,7 @@ pub mod client;
 pub mod disk;
 pub mod engine;
 pub mod metrics;
+pub mod netpoll;
 pub mod pool;
 pub mod proto;
 pub mod server;
@@ -70,7 +78,7 @@ pub use cache::{CacheConfig, CacheCounters, HandleEntry, InstanceCache};
 pub use client::{Client, RetryPolicy};
 pub use disk::{DiskConfig, DiskCounters, DiskFault, DiskTier};
 pub use metrics::Metrics;
-pub use pool::{Pool, QueueHandle, SubmitError};
+pub use pool::{Pool, QueueHandle, ReplyTo, SubmitError};
 pub use proto::{
     Envelope, ErrorKind, Limits, Outcome, Request, Response, WireCounterexample, WireMetrics,
     WireStats, PROTOCOL_VERSION,

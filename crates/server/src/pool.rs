@@ -32,17 +32,45 @@ use vqd_budget::Budget;
 use vqd_obs::{Metric, MetricsSnapshot};
 
 /// One admitted request: the envelope, its clamped budget, and where to
-/// send the reply. The reply channel is unbounded but carries exactly
-/// one message per job.
+/// send the reply.
 pub struct Job {
     /// The decoded request envelope.
     pub envelope: Envelope,
     /// Budget already clamped against server caps (its cancel token is
     /// the server's shutdown token).
     pub budget: Budget,
-    /// Reply destination (the submitting connection thread blocks on
-    /// the paired receiver).
-    pub reply: std::sync::mpsc::Sender<Response>,
+    /// Reply destination: a blocking caller's channel, or a completion
+    /// callback routing the response back to an I/O event loop.
+    pub reply: ReplyTo,
+}
+
+/// Where a finished job's response goes. Exactly one response is
+/// delivered per job, whichever variant carries it.
+pub enum ReplyTo {
+    /// A paired `mpsc` receiver (blocking callers, tests). A dead
+    /// receiver is fine: the response is dropped.
+    Channel(std::sync::mpsc::Sender<Response>),
+    /// A completion callback, invoked on the worker thread. The server's
+    /// event loops use this to get `(connection, sequence)`-tagged
+    /// completions without a thread parked per in-flight request.
+    Callback(Box<dyn FnOnce(Response) + Send>),
+}
+
+impl ReplyTo {
+    /// Delivers the response (consuming the destination).
+    pub fn send(self, response: Response) {
+        match self {
+            // The connection may have hung up; a dead channel is fine.
+            ReplyTo::Channel(tx) => drop(tx.send(response)),
+            ReplyTo::Callback(f) => f(response),
+        }
+    }
+}
+
+impl From<std::sync::mpsc::Sender<Response>> for ReplyTo {
+    fn from(tx: std::sync::mpsc::Sender<Response>) -> ReplyTo {
+        ReplyTo::Channel(tx)
+    }
 }
 
 /// Why a submission failed.
@@ -240,8 +268,7 @@ fn run_job(job: Job, ctx: &EngineCtx) {
         let events = vqd_obs::drain_spans();
         response = response.with_trace(vqd_obs::spans_to_jsonl(&events));
     }
-    // The connection may have hung up; a dead reply channel is fine.
-    let _ = reply.send(response);
+    reply.send(response);
 }
 
 /// Folds one finished request into the server-wide registry: per-op
@@ -286,7 +313,7 @@ mod tests {
         Job {
             envelope: Envelope::new("t", Limits::none(), Request::Ping),
             budget: Budget::unlimited(),
-            reply,
+            reply: reply.into(),
         }
     }
 
@@ -337,7 +364,7 @@ mod tests {
                 },
             ),
             budget: Budget::unlimited().with_deadline(std::time::Duration::from_millis(400)),
-            reply: tx.clone(),
+            reply: tx.clone().into(),
         };
         pool.submit(slow).map_err(|_| ()).expect("first admit");
         // Give the worker a moment to pick the slow job up, then fill
@@ -372,7 +399,7 @@ mod tests {
         let job = Job {
             envelope: Envelope::new("p", Limits::none(), Request::Ping),
             budget: Budget::unlimited(),
-            reply: tx,
+            reply: tx.into(),
         };
         // run_job must always reply exactly once.
         run_job(job, &ctx);
@@ -397,7 +424,7 @@ mod tests {
             )
             .with_profile(true),
             budget: Budget::unlimited(),
-            reply: tx.clone(),
+            reply: tx.clone().into(),
         };
         // Both jobs run on this thread, so the thread-local engine
         // counters keep growing across them; a leaky diff would make the

@@ -20,6 +20,16 @@
 //! Queries, views, schemas, and instances travel as source text in the
 //! workspace's surface syntax (`Q(x,z) :- E(x,y), E(y,z).`), which keeps
 //! the protocol stable across internal representation changes.
+//!
+//! **Pipelining.** A client may write any number of request lines
+//! before reading a reply; the server answers them in request order on
+//! that connection — the n-th reply line always answers the n-th
+//! request line, whatever order the work completed in, and whether the
+//! outcome is `ok`, `exhausted`, `overloaded`, or `error`. The
+//! correlation id therefore stays a convenience for the client, not a
+//! requirement for matching ([`crate::Client::call_many`] still checks
+//! it). Nothing about the framing changed to allow this: one envelope
+//! per line, one reply per line, in order, as in v1.
 
 use serde::json::{self, Value};
 use vqd_budget::WorkStats;

@@ -1,37 +1,71 @@
-//! The TCP service: accept loop, connection threads, budget clamping,
-//! and graceful shutdown.
+//! The TCP service: a readiness-driven connection layer over the
+//! bounded worker pool.
 //!
-//! Threading model (all `std`, no async runtime):
+//! Threading model (all `std`; readiness comes from the [`netpoll`]
+//! shim over `poll(2)`):
 //!
-//! * one **acceptor** thread polls a non-blocking listener;
-//! * one **connection** thread per client does I/O only — it reads a
-//!   line, submits a [`Job`] to the bounded pool, blocks on the reply,
-//!   and writes it back (requests on one connection are answered in
-//!   order; concurrency comes from concurrent connections);
+//! * a small fixed set of **I/O event loops** (`caps.io_threads`)
+//!   multiplexes *all* connections over non-blocking sockets — loop 0
+//!   also owns the listener and distributes accepted connections
+//!   round-robin; an idle connection costs a poll-set entry, not a
+//!   thread, and consumes zero CPU between readiness events;
 //! * `workers` **worker** threads execute requests under clamped
-//!   budgets (see [`Pool`]).
+//!   budgets (see [`Pool`]) and hand completions back to the owning
+//!   loop through a callback + waker (see [`ReplyTo`]).
+//!
+//! **Pipelining, in order.** A client may write any number of request
+//! lines before reading replies. Each parsed line gets a per-connection
+//! sequence number; completions may arrive out of order (jobs run on
+//! whichever worker frees up first) and are reordered in a per-
+//! connection [`BTreeMap`] so replies always leave in request order.
+//! Per-request `profile`/`trace` attribution is untouched by
+//! pipelining: workers still serve one job at a time, so the
+//! thread-local counter diff in the pool stays exact.
+//!
+//! **Backpressure, two tiers, both structured.** More than
+//! `caps.max_inflight_per_conn` outstanding requests on one connection,
+//! or a full worker queue, degrade to `overloaded` replies; more than
+//! `caps.max_conns` open connections degrade to an `overloaded` reply
+//! on the excess connection followed by a clean close. A reader too
+//! slow to drain its replies trips the bounded per-connection write
+//! queue (`caps.max_writeq_bytes`): queued output is dropped, a typed
+//! `timeout` error is sent, and the connection closes —
+//! `server.conn_timeouts` counts it, exactly like the slowloris
+//! partial-line guard (`caps.conn_read_timeout`), which also survives
+//! unchanged.
 //!
 //! Per-request budgets are `min(client-requested limits, server caps)`
 //! via [`Budget::min_of`], and every budget observes the server's
 //! shutdown [`CancelToken`]: [`ServerHandle::shutdown`] (or a wire
 //! [`Request::Shutdown`](crate::proto::Request::Shutdown)) trips the
-//! token, stops admissions, drains in-flight and queued work — which
-//! degrades to structured `exhausted (canceled)` replies carrying
-//! partial progress — then joins every thread.
+//! token; loops stop accepting and reading, keep delivering in-flight
+//! replies — which degrade to structured `exhausted (canceled)` with
+//! partial progress — flush, then exit before the pool drains.
 
 use crate::cache::{CacheConfig, InstanceCache};
 use crate::engine::EngineCtx;
 use crate::metrics::Metrics;
-use crate::pool::{Job, Pool, QueueHandle, SubmitError};
+use crate::netpoll::{self, PollFd, WakeRx, Waker, POLLCLOSED, POLLIN, POLLOUT};
+use crate::pool::{Job, Pool, QueueHandle, ReplyTo, SubmitError};
 use crate::proto::{Envelope, ErrorKind, Limits, Outcome, Response, WireMetrics, WireStats};
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::Ordering;
-use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vqd_budget::{Budget, CancelToken};
+
+/// How long a draining loop waits for in-flight replies before closing
+/// connections anyway. Canceled budgets trip at their next checkpoint,
+/// so a drain normally completes in milliseconds; this is the backstop.
+const DRAIN_GRACE: Duration = Duration::from_secs(30);
+
+/// Read granularity of the event loop (per `read(2)` call).
+const READ_CHUNK: usize = 16 * 1024;
 
 /// Server-side resource caps applied to *every* request, whatever the
 /// client asked for.
@@ -50,10 +84,28 @@ pub struct ServerCaps {
     /// Slow-client guard: how long a connection may sit on a *partial*
     /// request line before it is answered with a typed `timeout` error
     /// and dropped. Idle connections (no partial line) are unaffected.
+    /// Doubles as the flush grace for a closing connection.
     pub conn_read_timeout: Duration,
     /// Enables the `debug_panic` op (worker-panic containment tests
     /// only). Off by default: production servers reply `unsupported`.
     pub enable_debug_ops: bool,
+    /// I/O event-loop threads multiplexing all connections (minimum 1).
+    pub io_threads: usize,
+    /// Global open-connection limit: connections past it get a typed
+    /// `overloaded` reply and a clean close at accept time.
+    pub max_conns: usize,
+    /// Pipelining cap: outstanding requests beyond this on a single
+    /// connection get immediate `overloaded` replies (still delivered
+    /// in request order).
+    pub max_inflight_per_conn: usize,
+    /// Bounded per-connection write queue: a reader that lets more than
+    /// this many reply bytes pile up server-side gets a typed `timeout`
+    /// and a close (`server.conn_timeouts` counts it).
+    pub max_writeq_bytes: usize,
+    /// Optional kernel send-buffer cap applied to accepted sockets.
+    /// Bounding it makes slow-reader backpressure deterministic (tests);
+    /// `None` leaves kernel autotuning alone.
+    pub sock_sndbuf: Option<usize>,
 }
 
 impl Default for ServerCaps {
@@ -65,6 +117,11 @@ impl Default for ServerCaps {
             cache: CacheConfig::default(),
             conn_read_timeout: Duration::from_secs(10),
             enable_debug_ops: false,
+            io_threads: 2,
+            max_conns: 4096,
+            max_inflight_per_conn: 64,
+            max_writeq_bytes: 1 << 20,
+            sock_sndbuf: None,
         }
     }
 }
@@ -94,7 +151,7 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared by the acceptor, connection threads, and workers.
+/// State shared by the event loops and workers.
 struct Shared {
     /// Master budget: its cancel token *is* the shutdown signal; its
     /// counters are never advanced (per-request budgets are fresh).
@@ -106,9 +163,42 @@ struct Shared {
     /// so tests and the loadgen restart phase can reach the disk tier
     /// (fault arming, segment paths) on a live server.
     cache: Arc<InstanceCache>,
+    /// One waker per event loop; shutdown pokes them all so a loop
+    /// parked in an indefinite `poll` observes the canceled token.
+    wakers: Vec<Waker>,
+    /// Total reply bytes queued (application-side) across every
+    /// connection; mirrored into the `server.writeq_bytes` gauge.
+    writeq_bytes: AtomicU64,
+    g_conns_open: Arc<vqd_obs::Gauge>,
+    g_pipelined: Arc<vqd_obs::Gauge>,
+    g_writeq: Arc<vqd_obs::Gauge>,
 }
 
 impl Shared {
+    fn new(
+        caps: ServerCaps,
+        metrics: Arc<Metrics>,
+        registry: Arc<vqd_obs::Registry>,
+        cache: Arc<InstanceCache>,
+        wakers: Vec<Waker>,
+    ) -> Shared {
+        let g_conns_open = registry.gauge("server.conns_open");
+        let g_pipelined = registry.gauge("server.pipelined_depth");
+        let g_writeq = registry.gauge("server.writeq_bytes");
+        Shared {
+            master: Budget::unlimited(),
+            caps,
+            metrics,
+            registry,
+            cache,
+            wakers,
+            writeq_bytes: AtomicU64::new(0),
+            g_conns_open,
+            g_pipelined,
+            g_writeq,
+        }
+    }
+
     /// `min(client limits, server caps)` with the shutdown token wired
     /// in as cancellation authority.
     fn clamp(&self, limits: &Limits) -> Budget {
@@ -125,6 +215,20 @@ impl Shared {
     fn shutdown_token(&self) -> CancelToken {
         self.master.cancel_token()
     }
+
+    /// Folds a connection's write-queue length change into the global
+    /// total and its gauge.
+    fn writeq_delta(&self, before: usize, after: usize) {
+        if after == before {
+            return;
+        }
+        if after > before {
+            self.writeq_bytes.fetch_add((after - before) as u64, Ordering::Relaxed);
+        } else {
+            self.writeq_bytes.fetch_sub((before - after) as u64, Ordering::Relaxed);
+        }
+        self.g_writeq.set(self.writeq_bytes.load(Ordering::Relaxed));
+    }
 }
 
 /// A running server. Dropping the handle trips the shutdown token but
@@ -132,8 +236,7 @@ impl Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    loops: Vec<JoinHandle<()>>,
     pool: Option<Pool>,
 }
 
@@ -149,7 +252,7 @@ impl ServerHandle {
     }
 
     /// The server-wide observability registry (per-op counters, latency
-    /// histograms, folded engine counters).
+    /// histograms, folded engine counters, connection gauges).
     pub fn registry(&self) -> Arc<vqd_obs::Registry> {
         Arc::clone(&self.shared.registry)
     }
@@ -178,20 +281,19 @@ impl ServerHandle {
         self.shutdown()
     }
 
-    /// Graceful shutdown: trip the token, stop accepting, drain
-    /// in-flight and queued requests (they observe the token and reply
-    /// `exhausted (canceled)` with partial progress), join everything,
-    /// and report the final metrics.
+    /// Graceful shutdown: trip the token, wake every event loop, let
+    /// them deliver in-flight replies (canceled budgets report partial
+    /// progress) and flush, join them, then drain the pool and report
+    /// the final metrics.
     pub fn shutdown(mut self) -> WireMetrics {
         self.shared.shutdown_token().cancel();
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        for w in &self.shared.wakers {
+            w.wake();
         }
-        // Connection threads exit at their next idle poll; in-flight
-        // requests finish first because workers are still running.
-        let conns = std::mem::take(&mut *lock_or_recover(&self.conns));
-        for c in conns {
-            let _ = c.join();
+        // Joining the loops first drops their queue handles, which is
+        // what lets the pool's workers observe a closed queue and exit.
+        for h in self.loops.drain(..) {
+            let _ = h.join();
         }
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
@@ -203,19 +305,13 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shared.shutdown_token().cancel();
+        for w in &self.shared.wakers {
+            w.wake();
+        }
     }
 }
 
-/// Mutex recovery: connection-handle lists tolerate poisoning (the data
-/// is only JoinHandles).
-fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
-
-/// Binds, spawns the acceptor + pool, and returns immediately.
+/// Binds, spawns the event loops + pool, and returns immediately.
 pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
@@ -226,206 +322,688 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     // happen here, on the spawning thread, before any request runs.
     let cache =
         Arc::new(InstanceCache::new(config.caps.cache.clone(), Arc::clone(&registry)));
-    let shared = Arc::new(Shared {
-        master: Budget::unlimited(),
-        caps: config.caps,
-        metrics: Arc::clone(&metrics),
-        registry: Arc::clone(&registry),
-        cache: Arc::clone(&cache),
-    });
+    let io_threads = config.caps.io_threads.max(1);
+    let mut wakers = Vec::with_capacity(io_threads);
+    let mut wake_rxs = Vec::with_capacity(io_threads);
+    for _ in 0..io_threads {
+        let (w, rx) = netpoll::waker_pair()?;
+        wakers.push(w);
+        wake_rxs.push(rx);
+    }
+    let shared = Arc::new(Shared::new(
+        config.caps,
+        Arc::clone(&metrics),
+        Arc::clone(&registry),
+        Arc::clone(&cache),
+        wakers,
+    ));
     let ctx = EngineCtx {
-        metrics: Arc::clone(&metrics),
+        metrics,
         cache,
         registry,
-        started: std::time::Instant::now(),
+        started: Instant::now(),
         shutdown: shared.shutdown_token(),
         debug_ops: shared.caps.enable_debug_ops,
     };
     let pool = Pool::new(config.workers, config.queue_depth, ctx);
-    let queue = pool.queue_handle();
-    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    let acceptor = {
-        let shared = Arc::clone(&shared);
-        let conns = Arc::clone(&conns);
-        std::thread::Builder::new()
-            .name("vqd-acceptor".to_owned())
-            .spawn(move || accept_loop(&listener, &shared, &queue, &conns))?
-    };
-    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), conns, pool: Some(pool) })
+    let mut handles = Vec::with_capacity(io_threads);
+    let mut rxs = Vec::with_capacity(io_threads);
+    for waker in &shared.wakers {
+        let (tx, rx) = channel();
+        handles.push(LoopHandle { tx, waker: waker.clone() });
+        rxs.push(rx);
+    }
+    let handles = Arc::new(handles);
+    let mut listener = Some(listener);
+    let mut loops = Vec::with_capacity(io_threads);
+    for (idx, (rx, wake_rx)) in rxs.into_iter().zip(wake_rxs).enumerate() {
+        let io_loop = IoLoop {
+            idx,
+            shared: Arc::clone(&shared),
+            queue: pool.queue_handle(),
+            rx,
+            wake_rx,
+            // Loop 0 owns the listener: accepts are just another
+            // readiness event, with no dedicated acceptor thread.
+            listener: listener.take(),
+            loops: Arc::clone(&handles),
+            conns: BTreeMap::new(),
+            next_conn_id: idx as u64,
+            next_rr: idx,
+            draining: false,
+            drain_deadline: None,
+        };
+        loops.push(
+            std::thread::Builder::new()
+                .name(format!("vqd-io-{idx}"))
+                .spawn(move || io_loop.run())?,
+        );
+    }
+    Ok(ServerHandle { addr, shared, loops, pool: Some(pool) })
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    queue: &QueueHandle,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    let token = shared.shutdown_token();
-    while !token.is_canceled() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.connections_open.fetch_add(1, Ordering::Relaxed);
-                let conn_shared = Arc::clone(shared);
-                let queue = queue.clone();
-                let spawned = std::thread::Builder::new()
-                    .name("vqd-conn".to_owned())
-                    .spawn(move || {
-                        let _ = serve_connection(stream, &conn_shared, &queue);
-                        conn_shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
-                    });
-                match spawned {
-                    Ok(handle) => {
-                        let mut guard = lock_or_recover(conns);
-                        // Reap finished connections so the list stays
-                        // proportional to *open* connections.
-                        guard.retain(|h| !h.is_finished());
-                        guard.push(handle);
-                    }
-                    Err(_) => {
-                        shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+/// Messages into an event loop's mailbox; every send is paired with a
+/// waker poke so a parked loop notices.
+enum LoopMsg {
+    /// A freshly accepted connection, dispatched round-robin by loop 0.
+    Conn(TcpStream),
+    /// A finished job for `(connection, sequence)`; the loop reorders
+    /// these so replies leave in request order.
+    Done { conn: u64, seq: u64, response: Box<Response> },
+}
+
+/// The sending side of one loop's mailbox.
+#[derive(Clone)]
+struct LoopHandle {
+    tx: Sender<LoopMsg>,
+    waker: Waker,
+}
+
+impl LoopHandle {
+    /// Delivers a message and wakes the loop; `false` (message dropped)
+    /// only once the loop has exited during shutdown.
+    fn send(&self, msg: LoopMsg) -> bool {
+        if self.tx.send(msg).is_err() {
+            return false;
         }
+        self.waker.wake();
+        true
     }
 }
 
-/// Reads newline-delimited envelopes and answers each in order.
-fn serve_connection(
+/// Per-connection state owned by exactly one event loop.
+struct Conn {
+    id: u64,
     stream: TcpStream,
-    shared: &Arc<Shared>,
-    queue: &QueueHandle,
-) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    // A finite read timeout turns the blocking read into a poll so the
-    // thread can observe shutdown while idle.
-    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let token = shared.shutdown_token();
-    let mut buf: Vec<u8> = Vec::new();
-    // Slow-client guard: a connection may idle forever, but once it has
-    // sent a *partial* request line the rest must arrive within
-    // `caps.conn_read_timeout`, or it gets a typed `timeout` error and
-    // the thread is reclaimed (slowloris protection).
-    let mut partial_since: Option<std::time::Instant> = None;
-    loop {
-        if token.is_canceled() {
-            return Ok(());
-        }
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => return Ok(()), // EOF
-            Ok(_) => {
-                if buf.last() != Some(&b'\n') {
-                    // Partial line at EOF boundary: process it; the next
-                    // read returns Ok(0).
-                }
-                partial_since = None;
-                let line = String::from_utf8_lossy(&buf).into_owned();
-                let response = handle_line(line.trim(), shared, queue);
-                buf.clear();
-                if let Some(response) = response {
-                    writeln!(writer, "{}", response.to_json())?;
-                    writer.flush()?;
-                }
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted =>
-            {
-                // Idle poll; partial bytes (if any) stay in `buf`.
-                if buf.is_empty() {
-                    partial_since = None;
-                } else {
-                    let since =
-                        *partial_since.get_or_insert_with(std::time::Instant::now);
-                    if since.elapsed() >= shared.caps.conn_read_timeout {
-                        shared.registry.counter("server.conn_timeouts").inc();
-                        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                        let response = Response::error(
-                            "",
-                            ErrorKind::Timeout,
-                            format!(
-                                "no complete request line within {}ms",
-                                shared.caps.conn_read_timeout.as_millis()
-                            ),
-                        );
-                        writeln!(writer, "{}", response.to_json())?;
-                        writer.flush()?;
-                        return Ok(());
-                    }
-                }
-            }
-            Err(e) => return Err(e),
+    /// Bytes read but not yet framed into a complete line.
+    read_buf: Vec<u8>,
+    /// Serialized replies not yet accepted by the kernel.
+    write_buf: Vec<u8>,
+    /// Sequence number the next parsed request will get.
+    next_seq: u64,
+    /// Sequence number whose reply is next in line to be serialized.
+    next_to_send: u64,
+    /// Completed replies waiting for an earlier sequence to finish.
+    pending: BTreeMap<u64, Response>,
+    /// Jobs submitted to the pool whose completion has not come back.
+    in_flight: usize,
+    /// When the oldest *partial* request line started waiting.
+    partial_since: Option<Instant>,
+    /// No more reads; close once everything owed has been flushed (or
+    /// the deadline passes).
+    closing: bool,
+    /// Kill-path variant of `closing`: completions for this connection
+    /// are dropped instead of delivered (its reply queue was already
+    /// replaced by a terminal error line).
+    discard: bool,
+    /// Hard bound on how long a closing connection may linger.
+    close_deadline: Option<Instant>,
+    /// Remove this connection at the end of the current event.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(id: u64, stream: TcpStream) -> Conn {
+        Conn {
+            id,
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            next_seq: 0,
+            next_to_send: 0,
+            pending: BTreeMap::new(),
+            in_flight: 0,
+            partial_since: None,
+            closing: false,
+            discard: false,
+            close_deadline: None,
+            dead: false,
         }
     }
 }
 
-/// Decodes one line and produces one response (`None` for blank lines).
-fn handle_line(line: &str, shared: &Arc<Shared>, queue: &QueueHandle) -> Option<Response> {
-    if line.is_empty() {
-        return None;
-    }
-    let envelope = match Envelope::from_line(line) {
-        Err((kind, message, id)) => {
-            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            return Some(Response::error(id, kind, message));
+/// One I/O event loop: polls its connections (and, on loop 0, the
+/// listener), frames lines, submits jobs, reorders completions, and
+/// flushes replies.
+struct IoLoop {
+    idx: usize,
+    shared: Arc<Shared>,
+    queue: QueueHandle,
+    rx: Receiver<LoopMsg>,
+    wake_rx: WakeRx,
+    listener: Option<TcpListener>,
+    loops: Arc<Vec<LoopHandle>>,
+    conns: BTreeMap<u64, Conn>,
+    /// Next connection id; strided by the loop count so ids are
+    /// globally unique without coordination.
+    next_conn_id: u64,
+    next_rr: usize,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl IoLoop {
+    fn run(mut self) {
+        let token = self.shared.shutdown_token();
+        loop {
+            if token.is_canceled() && !self.draining {
+                self.enter_drain();
+            }
+            if self.draining && self.reap_drained() {
+                return;
+            }
+            // Poll set: waker, then (loop 0 only) the listener, then one
+            // entry per connection. Rebuilt every iteration —
+            // level-triggered poll makes that correct by construction.
+            let mut fds = Vec::with_capacity(2 + self.conns.len());
+            fds.push(PollFd::new(self.wake_rx.fd(), POLLIN));
+            let listener_slot = self.listener.as_ref().map(|l| {
+                fds.push(PollFd::new(l.as_raw_fd(), POLLIN));
+                fds.len() - 1
+            });
+            let base = fds.len();
+            let mut ids = Vec::with_capacity(self.conns.len());
+            for (id, c) in &self.conns {
+                let mut events = 0i16;
+                if !c.closing && !self.draining {
+                    events |= POLLIN;
+                }
+                if !c.write_buf.is_empty() {
+                    events |= POLLOUT;
+                }
+                // events may stay 0: POLLERR/POLLHUP still come back.
+                fds.push(PollFd::new(c.stream.as_raw_fd(), events));
+                ids.push(*id);
+            }
+            let _ = netpoll::wait(&mut fds, self.poll_timeout());
+            if fds[0].revents != 0 {
+                self.wake_rx.drain();
+            }
+            self.drain_mailbox();
+            if let Some(slot) = listener_slot {
+                if fds[slot].returned(POLLIN) {
+                    self.accept_ready();
+                }
+            }
+            for (k, id) in ids.iter().enumerate() {
+                let revents = fds[base + k].revents;
+                if revents != 0 {
+                    self.conn_ready(*id, revents);
+                }
+            }
+            self.check_deadlines();
         }
-        Ok(env) => env,
-    };
-    let id = envelope.id.clone();
-    let budget = shared.clamp(&envelope.limits);
-    let (reply_tx, reply_rx) = channel();
-    let job = Job { envelope, budget, reply: reply_tx };
-    match queue.submit(job) {
-        Ok(()) => Some(reply_rx.recv().unwrap_or_else(|_| {
-            Response::error(id, ErrorKind::Internal, "worker dropped the reply")
-        })),
-        Err((job, SubmitError::Full)) => {
-            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            Some(Response::new(
-                job.envelope.id,
+    }
+
+    /// Switches to draining: no more accepts, no more reads; in-flight
+    /// replies are still delivered and flushed. Wakes every sibling so
+    /// loops parked in an indefinite poll observe the token too (a wire
+    /// `shutdown` cancels it from a worker thread, which only wakes the
+    /// loop owning that connection).
+    fn enter_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+        self.listener = None;
+        for h in self.loops.iter() {
+            h.waker.wake();
+        }
+    }
+
+    /// Closes connections with nothing left to deliver; returns true
+    /// once none remain (the loop may exit).
+    fn reap_drained(&mut self) -> bool {
+        let past_grace = self.drain_deadline.is_some_and(|d| Instant::now() >= d);
+        let finished: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| past_grace || (c.in_flight == 0 && c.write_buf.is_empty()))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in finished {
+            if let Some(conn) = self.conns.remove(&id) {
+                self.destroy(conn);
+            }
+        }
+        self.conns.is_empty()
+    }
+
+    /// The next poll either sleeps indefinitely (nothing timed pending —
+    /// the idle-cost-zero case) or until the earliest deadline.
+    fn poll_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        let read_timeout = self.shared.caps.conn_read_timeout;
+        let mut next: Option<Instant> = None;
+        let fold = |t: Instant, next: &mut Option<Instant>| match *next {
+            Some(n) if n <= t => {}
+            _ => *next = Some(t),
+        };
+        for c in self.conns.values() {
+            if let Some(s) = c.partial_since {
+                fold(s + read_timeout, &mut next);
+            }
+            if let Some(d) = c.close_deadline {
+                fold(d, &mut next);
+            }
+        }
+        if self.draining {
+            fold(now + Duration::from_millis(50), &mut next);
+        }
+        next.map(|t| t.saturating_duration_since(now))
+    }
+
+    /// Drains the mailbox: adopts dispatched connections, applies
+    /// completions (decrement in-flight, reorder, flush).
+    fn drain_mailbox(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                LoopMsg::Conn(stream) => {
+                    if self.draining {
+                        self.shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+                        drop(stream);
+                    } else {
+                        self.register(stream);
+                    }
+                }
+                LoopMsg::Done { conn: id, seq, response } => {
+                    // The connection may have closed while its job ran;
+                    // the completion is simply dropped then.
+                    let Some(mut conn) = self.conns.remove(&id) else { continue };
+                    conn.in_flight = conn.in_flight.saturating_sub(1);
+                    if conn.discard {
+                        // Killed connection: the completion is dropped;
+                        // re-flush only to re-check the close condition.
+                        flush_writes(&mut conn, &self.shared);
+                    } else {
+                        self.deliver(&mut conn, seq, *response);
+                    }
+                    self.reinsert(id, conn);
+                }
+            }
+        }
+    }
+
+    /// Accepts until the listener would block. The global connection
+    /// limit is enforced here — past it, the excess connection gets a
+    /// typed `overloaded` reply and a clean close, not a thread and not
+    /// an unbounded backlog.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else { return };
+            match listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        let m = &self.shared.metrics;
+        m.connections_total.fetch_add(1, Ordering::Relaxed);
+        let open = m.connections_open.fetch_add(1, Ordering::Relaxed) + 1;
+        if open as usize > self.shared.caps.max_conns {
+            m.connections_open.fetch_sub(1, Ordering::Relaxed);
+            self.shared.registry.counter("server.conns_rejected").inc();
+            reject_over_limit(stream, open - 1, self.shared.caps.max_conns);
+            return;
+        }
+        self.shared.g_conns_open.set(open);
+        let target = self.next_rr % self.loops.len();
+        self.next_rr = self.next_rr.wrapping_add(1);
+        if target == self.idx {
+            self.register(stream);
+        } else if !self.loops[target].send(LoopMsg::Conn(stream)) {
+            // Only possible once the target loop exited mid-shutdown.
+            m.connections_open.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes ownership of a connection: non-blocking, nodelay, and an
+    /// id strided so every loop mints distinct ones.
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            self.shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        stream.set_nodelay(true).ok();
+        if let Some(bytes) = self.shared.caps.sock_sndbuf {
+            let _ = netpoll::set_send_buffer(&stream, bytes);
+        }
+        let id = self.next_conn_id;
+        self.next_conn_id += self.loops.len() as u64;
+        self.conns.insert(id, Conn::new(id, stream));
+    }
+
+    fn reinsert(&mut self, id: u64, conn: Conn) {
+        if conn.dead {
+            self.destroy(conn);
+        } else {
+            self.conns.insert(id, conn);
+        }
+    }
+
+    fn destroy(&mut self, conn: Conn) {
+        let open =
+            self.shared.metrics.connections_open.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        self.shared.g_conns_open.set(open);
+        // Undeliverable queued output leaves the global gauge with it.
+        self.shared.writeq_delta(conn.write_buf.len(), 0);
+    }
+
+    /// Dispatches one connection's returned events.
+    fn conn_ready(&mut self, id: u64, revents: i16) {
+        let Some(mut conn) = self.conns.remove(&id) else { return };
+        if revents & POLLIN != 0 && !conn.closing && !self.draining {
+            self.read_ready(&mut conn);
+        }
+        if revents & POLLOUT != 0 && !conn.dead {
+            flush_writes(&mut conn, &self.shared);
+        }
+        if revents & POLLCLOSED != 0 && revents & POLLIN == 0 {
+            // Hangup/error with nothing readable: the peer is gone.
+            conn.dead = true;
+        }
+        self.reinsert(id, conn);
+    }
+
+    /// Reads until the socket would block, frames complete lines, and
+    /// processes each. EOF with work still pending half-closes: replies
+    /// are delivered before the connection is dropped.
+    fn read_ready(&mut self, conn: &mut Conn) {
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut eof = false;
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+        self.process_lines(conn);
+        if eof && !conn.dead {
+            if !conn.read_buf.is_empty() && !conn.closing {
+                // A final unterminated line still gets an answer (the
+                // blocking server answered these too).
+                let tail: Vec<u8> = std::mem::take(&mut conn.read_buf);
+                self.process_one_line(conn, &tail);
+                conn.partial_since = None;
+            }
+            if conn.in_flight == 0 && conn.write_buf.is_empty() {
+                conn.dead = true;
+            } else {
+                conn.closing = true;
+                if conn.close_deadline.is_none() {
+                    conn.close_deadline =
+                        Some(Instant::now() + self.shared.caps.conn_read_timeout);
+                }
+            }
+        }
+    }
+
+    /// Splits `read_buf` at newlines; whatever remains is a partial
+    /// line and starts (or continues) the slow-client clock.
+    fn process_lines(&mut self, conn: &mut Conn) {
+        loop {
+            if conn.closing {
+                conn.read_buf.clear();
+                break;
+            }
+            let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') else { break };
+            let line: Vec<u8> = conn.read_buf.drain(..=pos).collect();
+            self.process_one_line(conn, &line);
+        }
+        conn.partial_since = if conn.read_buf.is_empty() {
+            None
+        } else {
+            Some(conn.partial_since.unwrap_or_else(Instant::now))
+        };
+    }
+
+    /// Frames one request: assign a sequence number, decode, apply the
+    /// per-connection in-flight cap, clamp the budget, and submit — or
+    /// answer immediately (decode errors, backpressure). Immediate
+    /// answers go through the same reorder buffer, so replies always
+    /// leave in request order even when request 5 fails fast while
+    /// request 2 is still on a worker.
+    fn process_one_line(&mut self, conn: &mut Conn, raw: &[u8]) {
+        let text = String::from_utf8_lossy(raw);
+        let line = text.trim();
+        if line.is_empty() {
+            return;
+        }
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let envelope = match Envelope::from_line(line) {
+            Err((kind, message, id)) => {
+                self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                self.deliver(conn, seq, Response::error(id, kind, message));
+                return;
+            }
+            Ok(env) => env,
+        };
+        if conn.in_flight >= self.shared.caps.max_inflight_per_conn {
+            self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.registry.counter("server.inflight_rejects").inc();
+            let response = Response::new(
+                envelope.id,
                 Outcome::Overloaded {
-                    queue_depth: shared.metrics.queue_depth.load(Ordering::Relaxed),
-                    queue_capacity: queue.capacity() as u64,
+                    queue_depth: conn.in_flight as u64,
+                    queue_capacity: self.shared.caps.max_inflight_per_conn as u64,
                 },
                 WireStats::default(),
-            ))
+            );
+            self.deliver(conn, seq, response);
+            return;
         }
-        Err((job, SubmitError::Closed)) => {
-            Some(Response::new(job.envelope.id, Outcome::ShuttingDown, WireStats::default()))
+        let budget = self.shared.clamp(&envelope.limits);
+        let home = self.loops[self.idx].clone();
+        let conn_id = conn.id;
+        let reply = ReplyTo::Callback(Box::new(move |response| {
+            home.send(LoopMsg::Done { conn: conn_id, seq, response: Box::new(response) });
+        }));
+        match self.queue.submit(Job { envelope, budget, reply }) {
+            Ok(()) => {
+                conn.in_flight += 1;
+                self.shared.g_pipelined.raise_to(conn.in_flight as u64);
+            }
+            Err((job, SubmitError::Full)) => {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                let response = Response::new(
+                    job.envelope.id,
+                    Outcome::Overloaded {
+                        queue_depth: self.shared.metrics.queue_depth.load(Ordering::Relaxed),
+                        queue_capacity: self.queue.capacity() as u64,
+                    },
+                    WireStats::default(),
+                );
+                self.deliver(conn, seq, response);
+            }
+            Err((job, SubmitError::Closed)) => {
+                let response =
+                    Response::new(job.envelope.id, Outcome::ShuttingDown, WireStats::default());
+                self.deliver(conn, seq, response);
+            }
         }
     }
+
+    /// The ordered-pipelining invariant lives here: a completion parks
+    /// in `pending` until every earlier sequence has been serialized,
+    /// then as many consecutive replies as are ready are appended to the
+    /// write queue and flushed.
+    fn deliver(&mut self, conn: &mut Conn, seq: u64, response: Response) {
+        conn.pending.insert(seq, response);
+        let before = conn.write_buf.len();
+        while let Some(r) = conn.pending.remove(&conn.next_to_send) {
+            let line = r.to_json().to_string();
+            conn.write_buf.extend_from_slice(line.as_bytes());
+            conn.write_buf.push(b'\n');
+            conn.next_to_send += 1;
+        }
+        self.shared.writeq_delta(before, conn.write_buf.len());
+        flush_writes(conn, &self.shared);
+        self.enforce_writeq_bound(conn);
+    }
+
+    /// The slow-reader tier: a connection whose un-flushed replies
+    /// exceed the cap loses its queued output, gets one typed `timeout`
+    /// line, and closes — counted by `server.conn_timeouts` like every
+    /// other deadline kill.
+    fn enforce_writeq_bound(&mut self, conn: &mut Conn) {
+        let cap = self.shared.caps.max_writeq_bytes;
+        if conn.closing || conn.dead || conn.write_buf.len() <= cap {
+            return;
+        }
+        self.shared.registry.counter("server.conn_timeouts").inc();
+        self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        let before = conn.write_buf.len();
+        conn.write_buf.clear();
+        conn.pending.clear();
+        let response = Response::error(
+            "",
+            ErrorKind::Timeout,
+            format!("reply backlog exceeded {cap} bytes: reader too slow"),
+        );
+        let line = response.to_json().to_string();
+        conn.write_buf.extend_from_slice(line.as_bytes());
+        conn.write_buf.push(b'\n');
+        self.shared.writeq_delta(before, conn.write_buf.len());
+        conn.closing = true;
+        conn.discard = true;
+        conn.close_deadline = Some(Instant::now() + self.shared.caps.conn_read_timeout);
+        flush_writes(conn, &self.shared);
+    }
+
+    /// Applies the two per-connection clocks: the slowloris partial-line
+    /// deadline (typed `timeout`, then close) and the closing-flush
+    /// grace (hard close).
+    fn check_deadlines(&mut self) {
+        let now = Instant::now();
+        let read_timeout = self.shared.caps.conn_read_timeout;
+        let mut timed_out: Vec<u64> = Vec::new();
+        let mut expired: Vec<u64> = Vec::new();
+        for (id, c) in &self.conns {
+            if c.closing {
+                if c.close_deadline.is_some_and(|d| now >= d) {
+                    expired.push(*id);
+                }
+            } else if c.partial_since.is_some_and(|s| now.duration_since(s) >= read_timeout) {
+                timed_out.push(*id);
+            }
+        }
+        for id in expired {
+            if let Some(conn) = self.conns.remove(&id) {
+                self.destroy(conn);
+            }
+        }
+        for id in timed_out {
+            let Some(mut conn) = self.conns.remove(&id) else { continue };
+            self.shared.registry.counter("server.conn_timeouts").inc();
+            self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            let response = Response::error(
+                "",
+                ErrorKind::Timeout,
+                format!("no complete request line within {}ms", read_timeout.as_millis()),
+            );
+            self.deliver(&mut conn, seq, response);
+            conn.partial_since = None;
+            conn.closing = true;
+            conn.discard = true;
+            conn.close_deadline = Some(now + read_timeout);
+            // The timeout line may already be fully flushed; re-check
+            // the close condition now that the flags are set.
+            flush_writes(&mut conn, &self.shared);
+            self.reinsert(id, conn);
+        }
+    }
+}
+
+/// Writes until the kernel would block. A closing connection whose
+/// queue fully drains is marked dead (flush-then-close complete).
+fn flush_writes(conn: &mut Conn, shared: &Shared) {
+    let before = conn.write_buf.len();
+    let mut written = 0usize;
+    while written < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[written..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if written > 0 {
+        conn.write_buf.drain(..written);
+    }
+    shared.writeq_delta(before, conn.write_buf.len());
+    // A closing connection ends once nothing is owed: its queue is
+    // flushed and — unless it was killed, in which case completions are
+    // being discarded — its in-flight requests have all been answered.
+    if conn.closing && conn.write_buf.is_empty() && (conn.discard || conn.in_flight == 0) {
+        conn.dead = true;
+    }
+}
+
+/// The global-limit rejection: one best-effort `overloaded` line, then
+/// the drop closes the socket. The socket's buffer is empty, so the
+/// single non-blocking write virtually always lands.
+fn reject_over_limit(stream: TcpStream, open: u64, cap: usize) {
+    let _ = stream.set_nonblocking(true);
+    let response = Response::new(
+        "",
+        Outcome::Overloaded { queue_depth: open, queue_capacity: cap as u64 },
+        WireStats::default(),
+    );
+    let mut line = response.to_json().to_string();
+    line.push('\n');
+    let mut stream = stream;
+    let _ = stream.write(line.as_bytes());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn test_shared(caps: ServerCaps) -> Shared {
+        let registry = Arc::new(vqd_obs::Registry::new());
+        Shared::new(
+            caps,
+            Arc::new(Metrics::new()),
+            Arc::clone(&registry),
+            Arc::new(InstanceCache::new(CacheConfig::default(), registry)),
+            Vec::new(),
+        )
+    }
+
     #[test]
     fn clamp_takes_the_stricter_side() {
-        let shared = Shared {
-            master: Budget::unlimited(),
-            caps: ServerCaps {
-                max_deadline: Duration::from_secs(2),
-                max_steps: Some(1000),
-                max_tuples: None,
-                ..ServerCaps::default()
-            },
-            metrics: Arc::new(Metrics::new()),
-            registry: Arc::new(vqd_obs::Registry::new()),
-            cache: Arc::new(InstanceCache::new(
-                CacheConfig::default(),
-                Arc::new(vqd_obs::Registry::new()),
-            )),
-        };
+        let shared = test_shared(ServerCaps {
+            max_deadline: Duration::from_secs(2),
+            max_steps: Some(1000),
+            max_tuples: None,
+            ..ServerCaps::default()
+        });
         // Client asks for more than the cap: cap wins.
         let b = shared.clamp(&Limits {
             deadline_ms: Some(60_000),
@@ -448,5 +1026,16 @@ mod tests {
         shared.shutdown_token().cancel();
         let b = shared.clamp(&Limits::none());
         assert!(b.checkpoint().is_err());
+    }
+
+    #[test]
+    fn writeq_accounting_is_symmetric() {
+        let shared = test_shared(ServerCaps::default());
+        shared.writeq_delta(0, 4096);
+        shared.writeq_delta(4096, 1024);
+        assert_eq!(shared.writeq_bytes.load(Ordering::Relaxed), 1024);
+        shared.writeq_delta(1024, 0);
+        assert_eq!(shared.writeq_bytes.load(Ordering::Relaxed), 0);
+        assert_eq!(shared.registry.snapshot().gauge("server.writeq_bytes"), 0);
     }
 }

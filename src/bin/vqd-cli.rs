@@ -251,6 +251,7 @@ fn cmd_analyze(argv: &[String]) {
 fn serve_usage() -> ! {
     eprintln!(
         "usage: vqd-cli serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+         [--io-threads N] [--max-conns N] [--max-inflight N] \
          [--max-deadline-ms N] [--max-steps N] [--max-tuples N] \
          [--cache-entries N] [--cache-bytes N] [--cache-dir PATH] [--disk-bytes N]"
     );
@@ -271,6 +272,9 @@ fn cmd_serve(argv: &[String]) {
             }
             "--max-steps" => caps.max_steps = Some(num_of(&mut it, flag)),
             "--max-tuples" => caps.max_tuples = Some(num_of(&mut it, flag)),
+            "--io-threads" => caps.io_threads = num_of(&mut it, flag),
+            "--max-conns" => caps.max_conns = num_of(&mut it, flag),
+            "--max-inflight" => caps.max_inflight_per_conn = num_of(&mut it, flag),
             "--cache-entries" => caps.cache.max_entries = num_of(&mut it, flag),
             "--cache-bytes" => caps.cache.max_bytes = num_of(&mut it, flag),
             "--cache-dir" => {
@@ -294,11 +298,21 @@ fn cmd_serve(argv: &[String]) {
     config.caps = caps;
     let workers = config.workers;
     let queue = config.queue_depth;
+    let io_threads = config.caps.io_threads.max(1);
+    let max_conns = config.caps.max_conns;
     let handle = server::spawn(config).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
         std::process::exit(1)
     });
-    println!("vqd-server listening on {} ({} workers, queue {})", handle.addr(), workers, queue);
+    println!(
+        "vqd-server listening on {} ({} workers, queue {}, {} I/O threads, \
+         {} connections max)",
+        handle.addr(),
+        workers,
+        queue,
+        io_threads,
+        max_conns
+    );
     println!("stop it with: vqd-cli request --addr {} --op shutdown", handle.addr());
     let m = handle.wait();
     println!(
