@@ -271,9 +271,18 @@ fn sample_request(
     }
 }
 
+/// Report order for the per-phase timeline split (matches the six
+/// lifecycle stamps: decode+admission, queue wait, execution, reorder
+/// hold, write serialization — write drain is observed server-side in
+/// `server.phase.write_ms` and reads 0 on the wire).
+const PHASE_NAMES: [&str; 5] = ["frame", "queue", "exec", "reorder", "write"];
+
 #[derive(Default)]
 struct ConnStats {
     latencies_ms: Vec<f64>,
+    /// Per-phase timeline samples in µs, one slot per [`PHASE_NAMES`]
+    /// entry, harvested from the profiled replies' `timeline` section.
+    phase_us: [Vec<f64>; 5],
     /// Handle-request latencies, split by whether the server reused the
     /// cached index (`index_builds == 0` in the work envelope). Client
     /// vectors are round-trip (queueing included); server vectors are
@@ -319,8 +328,10 @@ fn drive_connection(
         let is_handle_req = matches!(request, Request::CertainHandle { .. });
         let limits = Limits { deadline_ms: Some(deadline_ms), ..Limits::none() };
         let start = Instant::now();
+        // Profiled calls so replies carry the per-phase `timeline`
+        // section the report's `phases` split is built from.
         let mut response =
-            client.call(limits.clone(), request).map_err(|e| format!("call: {e}"))?;
+            client.call_profiled(limits.clone(), request).map_err(|e| format!("call: {e}"))?;
         // Handles are cache references, not leases: on eviction the
         // client re-puts and retries, exactly once per occurrence.
         if is_handle_req && vqd_server::client::is_error_kind(&response, ErrorKind::UnknownHandle)
@@ -330,11 +341,19 @@ fn drive_connection(
             handle = h;
             stats.reputs += 1;
             response = client
-                .call(limits, certain_by_handle(&handle))
+                .call_profiled(limits, certain_by_handle(&handle))
                 .map_err(|e| format!("retry: {e}"))?;
         }
         let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
         stats.latencies_ms.push(elapsed_ms);
+        if let Some(tl) = &response.timeline {
+            for (slot, us) in [tl.frame_us, tl.queue_us, tl.exec_us, tl.reorder_us, tl.write_us]
+                .into_iter()
+                .enumerate()
+            {
+                stats.phase_us[slot].push(us as f64);
+            }
+        }
         if let Some(tag) = &response.fragment {
             stats
                 .fragment_server_ms
@@ -649,6 +668,9 @@ fn main() {
         match t.join() {
             Ok(Ok(s)) => {
                 all.latencies_ms.extend(s.latencies_ms);
+                for (slot, us) in s.phase_us.into_iter().enumerate() {
+                    all.phase_us[slot].extend(us);
+                }
                 all.hit_latencies_ms.extend(s.hit_latencies_ms);
                 all.miss_latencies_ms.extend(s.miss_latencies_ms);
                 all.hit_server_ms.extend(s.hit_server_ms);
@@ -896,6 +918,34 @@ fn main() {
                 ("per_fragment", Value::Obj(per_fragment)),
                 ("fastpath_p50_ms", Value::from(p50_of("project-select"))),
                 ("budgeted_p50_ms", Value::from(p50_of("undecidable-in-general"))),
+            ]),
+        ));
+    }
+    {
+        // Per-phase request-lifecycle split, from the profiled replies'
+        // `timeline` sections: where a request's wall-clock actually
+        // went (decode+admission, queue wait, execution, reorder hold;
+        // `write` reads 0 on the wire — the kernel drain is observed
+        // server-side in the `server.phase.write_ms` histogram).
+        let mut phases: Vec<(String, Value)> = Vec::new();
+        let mut sampled = 0usize;
+        for (slot, name) in PHASE_NAMES.iter().enumerate() {
+            let ms = &mut all.phase_us[slot];
+            ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            sampled = sampled.max(ms.len());
+            phases.push((
+                (*name).to_owned(),
+                Value::object([
+                    ("p50_ms", Value::from(percentile(ms, 0.50) / 1e3)),
+                    ("p95_ms", Value::from(percentile(ms, 0.95) / 1e3)),
+                ]),
+            ));
+        }
+        report.push((
+            "phases".to_owned(),
+            Value::object([
+                ("sampled", Value::from(sampled)),
+                ("per_phase", Value::Obj(phases)),
             ]),
         ));
     }

@@ -13,7 +13,14 @@
 //! * [`trace`] — hierarchical [`Span`] guards recording wall-clock and
 //!   budget-step deltas into bounded per-thread rings with JSONL export,
 //!   behind one `AtomicBool` with a strict no-op path when disabled
-//!   (witnessed by [`Metric::SpanEventsRecorded`] staying zero).
+//!   (witnessed by [`Metric::SpanEventsRecorded`] staying zero);
+//! * [`flight`] — the always-on flight recorder: a bounded per-process
+//!   ring of the last [`FLIGHT_CAPACITY`] request digests, dumped to
+//!   stderr on worker panics / disk faults / exhaustion and queryable
+//!   over the wire;
+//! * [`prom`] — a Prometheus text-exposition renderer over
+//!   [`RegistrySnapshot`] (counters, gauges, cumulative `_bucket` /
+//!   `_sum` / `_count` histogram lines) for scrape-style consumers.
 //!
 //! The crate deliberately depends on nothing but the serde shim: engines
 //! hand in budget-step samples as plain `u64`s, so `vqd-budget` and
@@ -21,16 +28,23 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod metric;
+pub mod prom;
 pub mod registry;
 pub mod trace;
 
+pub use flight::{
+    flight_dump, flight_dump_throttled, flight_dump_to, flight_jsonl, flight_record,
+    flight_snapshot, flight_total, FlightDigest, FLIGHT_CAPACITY,
+};
 pub use metric::{count, local_snapshot, metric_value, Metric, MetricsSnapshot, METRIC_COUNT};
+pub use prom::{prometheus_name, render_prometheus};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BOUNDS_MS,
     SIZE_BOUNDS,
 };
 pub use trace::{
-    current_depth, drain_spans, dropped_spans, set_thread_tracing, set_tracing, span, span_at,
-    spans_to_jsonl, tracing_enabled, Span, SpanEvent, RING_CAPACITY,
+    current_depth, drain_spans, dropped_spans, ring_occupancy, set_thread_tracing, set_tracing,
+    span, span_at, spans_to_jsonl, tracing_enabled, Span, SpanEvent, RING_CAPACITY,
 };

@@ -193,6 +193,14 @@ pub fn drain_spans() -> Vec<SpanEvent> {
     })
 }
 
+/// Span events currently held (un-drained) in this thread's ring.
+/// Together with the `trace.spans_dropped` registry counter the server
+/// folds out of [`dropped_spans`], this lets clients tell a truncated
+/// trace from a genuinely short one.
+pub fn ring_occupancy() -> usize {
+    RING.with(|r| r.borrow().events.len())
+}
+
 /// Events overwritten (ring full) on this thread since the last drain.
 pub fn dropped_spans() -> u64 {
     RING.with(|r| {

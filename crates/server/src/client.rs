@@ -401,6 +401,37 @@ impl Client {
         Ok(self.call(Limits::none(), Request::CacheStats)?.outcome)
     }
 
+    /// Fetches the server's flight-recorder contents as JSONL (one
+    /// request digest per line, oldest first; empty string when no
+    /// requests have been recorded yet).
+    pub fn flight(&mut self) -> io::Result<String> {
+        match self.call(Limits::none(), Request::Flight)?.outcome {
+            Outcome::FlightSnapshot { jsonl } => Ok(jsonl),
+            Outcome::Error { kind, message } => Err(io::Error::other(format!(
+                "flight failed [{}]: {message}",
+                kind.as_str()
+            ))),
+            other => Err(io::Error::other(format!(
+                "unexpected flight reply: {other}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's registry rendered in Prometheus
+    /// text-exposition format.
+    pub fn metrics_prom(&mut self) -> io::Result<String> {
+        match self.call(Limits::none(), Request::MetricsProm)?.outcome {
+            Outcome::MetricsText { text } => Ok(text),
+            Outcome::Error { kind, message } => Err(io::Error::other(format!(
+                "metrics_prom failed [{}]: {message}",
+                kind.as_str()
+            ))),
+            other => Err(io::Error::other(format!(
+                "unexpected metrics_prom reply: {other}"
+            ))),
+        }
+    }
+
     /// Asks the server to drain and stop; `Ok(true)` iff acknowledged.
     pub fn shutdown_server(&mut self) -> io::Result<bool> {
         Ok(self.call(Limits::none(), Request::Shutdown)?.outcome == Outcome::ShuttingDown)

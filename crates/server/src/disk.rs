@@ -443,6 +443,10 @@ impl DiskTier {
     fn note_io_error(&self) {
         self.io_errors.fetch_add(1, Ordering::Relaxed);
         self.registry.counter("cache.disk_io_errors").inc();
+        // A degrading disk tier is exactly when the recent-request
+        // context matters; the dump is rate-limited so a sick disk
+        // cannot firehose stderr.
+        vqd_obs::flight_dump_throttled("disk_fault");
     }
 
     fn note_corrupt(&self) {

@@ -234,6 +234,23 @@ fn execute_unattributed(request: &Request, budget: &Budget, ctx: &EngineCtx) -> 
                 .set(metrics.connections_open);
             Outcome::StatsSnapshot { metrics, registry: ctx.registry.snapshot() }
         }
+        Request::Flight => Outcome::FlightSnapshot { jsonl: vqd_obs::flight_jsonl() },
+        Request::MetricsProm => {
+            // Same point-in-time gauge refresh as `stats`, so a scrape
+            // sees current depth/uptime rather than last-request values.
+            let metrics = ctx.metrics.snapshot();
+            ctx.registry
+                .gauge("server.uptime_ms")
+                .set(ctx.started.elapsed().as_millis() as u64);
+            ctx.registry.gauge("server.queue_depth").set(metrics.queue_depth);
+            ctx.registry
+                .gauge("server.queue_depth_hwm")
+                .raise_to(metrics.max_queue_depth);
+            ctx.registry
+                .gauge("server.connections_open")
+                .set(metrics.connections_open);
+            Outcome::MetricsText { text: vqd_obs::render_prometheus(&ctx.registry.snapshot()) }
+        }
         Request::Shutdown => {
             ctx.shutdown.cancel();
             Outcome::ShuttingDown

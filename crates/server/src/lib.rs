@@ -80,7 +80,7 @@ pub use disk::{DiskConfig, DiskCounters, DiskFault, DiskTier};
 pub use metrics::Metrics;
 pub use pool::{Pool, QueueHandle, ReplyTo, SubmitError};
 pub use proto::{
-    Envelope, ErrorKind, Limits, Outcome, Request, Response, WireCounterexample, WireMetrics,
-    WireStats, PROTOCOL_VERSION,
+    Envelope, ErrorKind, Limits, Outcome, Request, Response, Timeline, WireCounterexample,
+    WireMetrics, WireStats, PROTOCOL_VERSION,
 };
 pub use server::{spawn, ServerCaps, ServerConfig, ServerHandle};

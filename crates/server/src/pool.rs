@@ -22,14 +22,35 @@
 
 use crate::engine::{self, EngineCtx};
 use crate::metrics::Metrics;
-use crate::proto::{Envelope, ErrorKind, Outcome, Response, WireStats};
+use crate::proto::{Envelope, ErrorKind, Outcome, Request, Response, Timeline, WireStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use vqd_budget::Budget;
-use vqd_obs::{Metric, MetricsSnapshot};
+use vqd_obs::{FlightDigest, Metric, MetricsSnapshot};
+
+/// Lifecycle stamps taken by the owning event loop before a job reaches
+/// the queue; the worker adds its own start/end stamps to complete the
+/// pre-release part of the request's [`Timeline`].
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseStamps {
+    /// The request's full line was framed out of the read buffer.
+    pub framed: Instant,
+    /// The decoded job was accepted by the bounded queue.
+    pub enqueued: Instant,
+}
+
+impl PhaseStamps {
+    /// Stamps both points "now" — for direct submitters (tests, blocking
+    /// channel callers) that have no framing stage.
+    pub fn now() -> PhaseStamps {
+        let now = Instant::now();
+        PhaseStamps { framed: now, enqueued: now }
+    }
+}
 
 /// One admitted request: the envelope, its clamped budget, and where to
 /// send the reply.
@@ -42,6 +63,10 @@ pub struct Job {
     /// Reply destination: a blocking caller's channel, or a completion
     /// callback routing the response back to an I/O event loop.
     pub reply: ReplyTo,
+    /// Frame/enqueue stamps for the phase timeline. `None` for direct
+    /// submitters: their replies then carry no timeline and feed no
+    /// phase histograms, which keeps loop-served attribution exact.
+    pub stamps: Option<PhaseStamps>,
 }
 
 /// Where a finished job's response goes. Exactly one response is
@@ -215,7 +240,7 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, ctx: &EngineCtx) {
 
 /// Executes one job and sends exactly one reply.
 fn run_job(job: Job, ctx: &EngineCtx) {
-    let Job { envelope, budget, reply } = job;
+    let Job { envelope, budget, reply, stamps } = job;
     let op = envelope.request.op();
     // Workers serve one job at a time, so diffing the thread-local engine
     // counters around `execute` attributes exactly this request's work —
@@ -229,7 +254,8 @@ fn run_job(job: Job, ctx: &EngineCtx) {
         let _ = vqd_obs::dropped_spans();
     }
     let before = MetricsSnapshot::capture();
-    let started = std::time::Instant::now();
+    let started = Instant::now();
+    let mut panicked = false;
     let (outcome, fragment) = catch_unwind(AssertUnwindSafe(|| {
         engine::execute_attributed(&envelope.request, &budget, ctx)
     }))
@@ -243,9 +269,11 @@ fn run_job(job: Job, ctx: &EngineCtx) {
         // the worker thread survives, and the counter makes the event
         // visible to `stats`/BENCH instead of silently absorbed.
         ctx.registry.counter("server.worker_panics").inc();
+        panicked = true;
         (Outcome::Error { kind: ErrorKind::Internal, message: msg }, None)
     });
-    let elapsed_ms = started.elapsed().as_millis() as u64;
+    let finished = Instant::now();
+    let elapsed_ms = finished.duration_since(started).as_millis() as u64;
     let profile = MetricsSnapshot::capture().diff(&before);
     match &outcome {
         Outcome::Error { .. } => ctx.metrics.errors.fetch_add(1, Ordering::Relaxed),
@@ -256,6 +284,47 @@ fn run_job(job: Job, ctx: &EngineCtx) {
     let mut work = WireStats::from(budget.work_done());
     work.index_builds = profile.get(Metric::IndexBuilds);
     work.index_tuples = profile.get(Metric::IndexDeltaTuples);
+    // The worker fills the pre-release part of the timeline; the owning
+    // event loop stamps reorder-release (and write-drain, off-reply) on
+    // the way out.
+    let timeline = stamps.map(|s| Timeline {
+        frame_us: s.enqueued.duration_since(s.framed).as_micros() as u64,
+        queue_us: started.duration_since(s.enqueued).as_micros() as u64,
+        exec_us: finished.duration_since(started).as_micros() as u64,
+        reorder_us: 0,
+        write_us: 0,
+        framed: Some(s.framed),
+        finished: Some(finished),
+    });
+    // Black box first, reply second: the digest must be in the ring
+    // before any dump triggered by this request fires.
+    let tl = timeline.unwrap_or_default();
+    vqd_obs::flight_record(FlightDigest {
+        seq: 0, // assigned by the recorder
+        id: envelope.id.clone(),
+        op: op.to_owned(),
+        outcome: if panicked { "panic".to_owned() } else { outcome.status().to_owned() },
+        fragment: fragment.map(str::to_owned),
+        cache_hit: match &envelope.request {
+            // A handle request that built no index was served entirely
+            // from the cross-request cache; other ops never consult it.
+            Request::CertainHandle { .. } => Some(work.index_builds == 0),
+            _ => None,
+        },
+        frame_us: tl.frame_us,
+        queue_us: tl.queue_us,
+        exec_us: tl.exec_us,
+        steps: work.steps,
+        tuples: work.tuples,
+        index_builds: work.index_builds,
+    });
+    if panicked {
+        vqd_obs::flight_dump("worker_panic");
+    } else if matches!(outcome, Outcome::Exhausted { .. }) {
+        // Exhaustion is routine under hostile load; rate-limit so the
+        // black box never becomes a stderr firehose.
+        vqd_obs::flight_dump_throttled("exhausted");
+    }
     let mut response = Response::new(envelope.id.clone(), outcome, work);
     if let Some(fragment) = fragment {
         response = response.with_fragment(fragment);
@@ -268,6 +337,18 @@ fn run_job(job: Job, ctx: &EngineCtx) {
         let events = vqd_obs::drain_spans();
         response = response.with_trace(vqd_obs::spans_to_jsonl(&events));
     }
+    if let Some(tl) = timeline {
+        response = response.with_timeline(tl);
+    }
+    // Span-ring health: fold this thread's overwrite count into a
+    // server-wide counter and publish its current (un-drained)
+    // occupancy, so `stats` can tell a truncated trace from a short one.
+    // `add(0)` still creates the series, so `stats` always carries it.
+    ctx.registry.counter("trace.spans_dropped").add(vqd_obs::dropped_spans());
+    let thread = std::thread::current();
+    ctx.registry
+        .gauge(&format!("trace.ring_occupancy.{}", thread.name().unwrap_or("worker")))
+        .set(vqd_obs::ring_occupancy() as u64);
     reply.send(response);
 }
 
@@ -314,6 +395,7 @@ mod tests {
             envelope: Envelope::new("t", Limits::none(), Request::Ping),
             budget: Budget::unlimited(),
             reply: reply.into(),
+            stamps: None,
         }
     }
 
@@ -365,6 +447,7 @@ mod tests {
             ),
             budget: Budget::unlimited().with_deadline(std::time::Duration::from_millis(400)),
             reply: tx.clone().into(),
+            stamps: None,
         };
         pool.submit(slow).map_err(|_| ()).expect("first admit");
         // Give the worker a moment to pick the slow job up, then fill
@@ -400,6 +483,7 @@ mod tests {
             envelope: Envelope::new("p", Limits::none(), Request::Ping),
             budget: Budget::unlimited(),
             reply: tx.into(),
+            stamps: Some(PhaseStamps::now()),
         };
         // run_job must always reply exactly once.
         run_job(job, &ctx);
@@ -425,6 +509,7 @@ mod tests {
             .with_profile(true),
             budget: Budget::unlimited(),
             reply: tx.clone().into(),
+            stamps: None,
         };
         // Both jobs run on this thread, so the thread-local engine
         // counters keep growing across them; a leaky diff would make the

@@ -197,6 +197,12 @@ pub enum Request {
     },
     /// Server metrics snapshot.
     Stats,
+    /// The flight recorder's current window: the last N request digests
+    /// (op, outcome, fragment, phase timings, work stats) as JSONL.
+    Flight,
+    /// The full metrics registry rendered as a Prometheus text-exposition
+    /// document (counters, gauges, cumulative-bucket histograms).
+    MetricsProm,
     /// Asks the server to drain and stop.
     Shutdown,
     /// Deliberately panics the worker (containment tests). Servers
@@ -220,6 +226,8 @@ impl Request {
             Request::Finite { .. } => "decide_finite",
             Request::Semantic { .. } => "check_exhaustive",
             Request::Stats => "stats",
+            Request::Flight => "flight",
+            Request::MetricsProm => "metrics_prom",
             Request::Shutdown => "shutdown",
             Request::DebugPanic => "debug_panic",
         }
@@ -286,6 +294,81 @@ pub struct WireStats {
     pub index_builds: u64,
     /// Tuples indexed incrementally (delta maintenance, no rebuild).
     pub index_tuples: u64,
+}
+
+/// Per-request phase timeline: the additive `timeline` reply section.
+///
+/// The server stamps six lifecycle points per request — frame-complete,
+/// admission-enqueue, worker-start, worker-end, reorder-release,
+/// write-drained — and reports the five intervals between them here, in
+/// microseconds. Attached on the wire only when the envelope asked for a
+/// profile; absent keys decode to `None`, so v1 peers interoperate
+/// unchanged.
+///
+/// Latency semantics note: the per-op `op.{op}.latency_ms` registry
+/// histogram measures **execution time only** (worker-start →
+/// worker-end, the same interval as [`Timeline::exec_us`]); framing,
+/// queue wait, reorder wait, and write drain are *not* in it. The
+/// client-observable end-to-end latency (frame-complete →
+/// write-drained) is recorded separately in the `server.e2e_ms`
+/// histogram, and each interval feeds its own
+/// `server.phase.{frame,queue,exec,reorder,write}_ms` histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// frame-complete → admission-enqueue (decode + admission), µs.
+    pub frame_us: u64,
+    /// admission-enqueue → worker-start (bounded-queue wait), µs.
+    pub queue_us: u64,
+    /// worker-start → worker-end (execution), µs.
+    pub exec_us: u64,
+    /// worker-end → reorder-release (pipelining reorder-buffer wait
+    /// until every earlier sequence on the connection is serialized), µs.
+    pub reorder_us: u64,
+    /// reorder-release → write-drained, µs. Always 0 on the wire: a
+    /// reply is serialized *at* release, so its own drain completes
+    /// after encoding. The measured drain feeds `server.phase.write_ms`
+    /// and the slow-request log instead; at loopback it is ~0.
+    pub write_us: u64,
+    /// Frame-complete instant, carried in-process so the event loop can
+    /// compute end-to-end latency at write-drain. Never on the wire.
+    pub(crate) framed: Option<std::time::Instant>,
+    /// Worker-end instant, carried in-process so the event loop can
+    /// compute the reorder interval at release. Never on the wire.
+    pub(crate) finished: Option<std::time::Instant>,
+}
+
+impl Timeline {
+    /// Sum of the phase intervals, µs (what should approximate the
+    /// client-measured round-trip minus network/client time).
+    pub fn total_us(&self) -> u64 {
+        self.frame_us + self.queue_us + self.exec_us + self.reorder_us + self.write_us
+    }
+
+    /// Encodes the wire form (durations only; instants never leave the
+    /// process).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("frame_us", Value::from(self.frame_us)),
+            ("queue_us", Value::from(self.queue_us)),
+            ("exec_us", Value::from(self.exec_us)),
+            ("reorder_us", Value::from(self.reorder_us)),
+            ("write_us", Value::from(self.write_us)),
+        ])
+    }
+
+    /// Decodes [`to_json`](Self::to_json); `None` on shape mismatch.
+    pub fn from_json(v: &Value) -> Option<Timeline> {
+        let num = |k: &str| v.get(k).and_then(Value::as_u64);
+        Some(Timeline {
+            frame_us: num("frame_us")?,
+            queue_us: num("queue_us")?,
+            exec_us: num("exec_us")?,
+            reorder_us: num("reorder_us").unwrap_or(0),
+            write_us: num("write_us").unwrap_or(0),
+            framed: None,
+            finished: None,
+        })
+    }
 }
 
 impl From<WorkStats> for WireStats {
@@ -532,6 +615,18 @@ pub enum Outcome {
         /// empty one.
         registry: RegistrySnapshot,
     },
+    /// Reply to [`Request::Flight`]: the flight recorder's window.
+    FlightSnapshot {
+        /// One JSON digest per line, oldest first; empty when nothing
+        /// has been recorded yet.
+        jsonl: String,
+    },
+    /// Reply to [`Request::MetricsProm`]: the registry rendered as a
+    /// Prometheus text-exposition document.
+    MetricsText {
+        /// The exposition document (`# HELP`/`# TYPE` + samples).
+        text: String,
+    },
     /// The server acknowledged [`Request::Shutdown`] and is draining.
     ShuttingDown,
     /// A resource limit tripped before the procedure finished.
@@ -593,6 +688,10 @@ pub struct Response {
     /// `"undecidable-in-general"`). Additive — absent for other ops and
     /// from pre-router servers, and absent keys decode to `None`.
     pub fragment: Option<String>,
+    /// Per-request phase timeline. Additive like `fragment`: present on
+    /// the wire only for profiled requests served through the event
+    /// loop; absent keys decode to `None`.
+    pub timeline: Option<Timeline>,
 }
 
 impl Response {
@@ -606,6 +705,7 @@ impl Response {
             profile: None,
             trace: None,
             fragment: None,
+            timeline: None,
         }
     }
 
@@ -624,6 +724,12 @@ impl Response {
     /// Attaches the fragment-routing note (determinacy-family ops).
     pub fn with_fragment(mut self, fragment: impl Into<String>) -> Response {
         self.fragment = Some(fragment.into());
+        self
+    }
+
+    /// Attaches the per-request phase timeline.
+    pub fn with_timeline(mut self, timeline: Timeline) -> Response {
+        self.timeline = Some(timeline);
         self
     }
 
@@ -660,7 +766,12 @@ impl Envelope {
             vec![("op".to_owned(), Value::from(self.request.op()))];
         let mut s = |k: &str, v: &str| req.push((k.to_owned(), Value::from(v)));
         match &self.request {
-            Request::Ping | Request::Stats | Request::Shutdown | Request::DebugPanic => {}
+            Request::Ping
+            | Request::Stats
+            | Request::Flight
+            | Request::MetricsProm
+            | Request::Shutdown
+            | Request::DebugPanic => {}
             Request::Decide { schema, views, query }
             | Request::Rewrite { schema, views, query } => {
                 s("schema", schema);
@@ -788,6 +899,8 @@ impl Envelope {
         let request = match op {
             "ping" => Request::Ping,
             "stats" => Request::Stats,
+            "flight" => Request::Flight,
+            "metrics_prom" => Request::MetricsProm,
             "shutdown" => Request::Shutdown,
             "debug_panic" => Request::DebugPanic,
             "decide_unrestricted" => Request::Decide {
@@ -1004,6 +1117,14 @@ impl Response {
                 result.push(("registry".to_owned(), registry.to_json()));
                 "stats"
             }
+            Outcome::FlightSnapshot { jsonl } => {
+                result.push(("jsonl".to_owned(), Value::from(jsonl.clone())));
+                "flight"
+            }
+            Outcome::MetricsText { text } => {
+                result.push(("text".to_owned(), Value::from(text.clone())));
+                "metrics-text"
+            }
             Outcome::ShuttingDown => "shutting-down",
             Outcome::Exhausted { reason, partial } => {
                 result.push(("reason".to_owned(), Value::from(reason.clone())));
@@ -1045,6 +1166,9 @@ impl Response {
         }
         if let Some(f) = &self.fragment {
             obj.push(("fragment".to_owned(), Value::from(f.clone())));
+        }
+        if let Some(t) = &self.timeline {
+            obj.push(("timeline".to_owned(), t.to_json()));
         }
         obj.push(("result".to_owned(), Value::Obj(result)));
         Value::Obj(obj)
@@ -1167,6 +1291,8 @@ impl Response {
                         .unwrap_or_default(),
                 }
             }
+            "flight" => Outcome::FlightSnapshot { jsonl: text("jsonl")? },
+            "metrics-text" => Outcome::MetricsText { text: text("text")? },
             "shutting-down" => Outcome::ShuttingDown,
             "exhausted" => Outcome::Exhausted {
                 reason: text("reason")?,
@@ -1191,7 +1317,10 @@ impl Response {
         // Additive: replies from pre-router servers carry no `fragment`
         // key, which decodes to `None`.
         let fragment = v.get("fragment").and_then(Value::as_str).map(str::to_owned);
-        Ok(Response { version, id, outcome, work, profile, trace, fragment })
+        // Additive like `fragment`: pre-lifecycle servers send no
+        // `timeline` key, which decodes to `None`.
+        let timeline = v.get("timeline").and_then(Timeline::from_json);
+        Ok(Response { version, id, outcome, work, profile, trace, fragment, timeline })
     }
 
     /// Parses a response from one wire line.
@@ -1349,6 +1478,11 @@ impl std::fmt::Display for Outcome {
                 }
                 Ok(())
             }
+            Outcome::FlightSnapshot { jsonl } if jsonl.is_empty() => {
+                write!(f, "(flight recorder empty)")
+            }
+            Outcome::FlightSnapshot { jsonl } => write!(f, "{}", jsonl.trim_end()),
+            Outcome::MetricsText { text } => write!(f, "{}", text.trim_end()),
             Outcome::ShuttingDown => write!(f, "server is draining and shutting down"),
             Outcome::Exhausted { reason, partial } => {
                 write!(f, "exhausted ({reason}): {partial}")
@@ -1686,5 +1820,65 @@ mod tests {
         assert_eq!(b.remaining_tuples(), Some(2));
         assert!(b.remaining_time().is_some());
         assert!(!Limits::none().to_budget().is_limited());
+    }
+
+    #[test]
+    fn lifecycle_ops_round_trip() {
+        round_trip_envelope(Envelope::new("fl", Limits::none(), Request::Flight));
+        round_trip_envelope(Envelope::new("mp", Limits::none(), Request::MetricsProm));
+        let flight = Response::new(
+            "fl",
+            Outcome::FlightSnapshot { jsonl: "{\"seq\":1,\"op\":\"ping\"}\n".into() },
+            WireStats::default(),
+        );
+        let back = Response::from_line(&flight.to_json().to_string()).expect("flight");
+        assert_eq!(back, flight);
+        let prom = Response::new(
+            "mp",
+            Outcome::MetricsText { text: "# TYPE server_e2e_ms histogram\n".into() },
+            WireStats::default(),
+        );
+        let back = Response::from_line(&prom.to_json().to_string()).expect("metrics");
+        assert_eq!(back, prom);
+    }
+
+    #[test]
+    fn timeline_round_trips_and_sums() {
+        let tl = Timeline {
+            frame_us: 10,
+            queue_us: 250,
+            exec_us: 4000,
+            reorder_us: 30,
+            write_us: 0,
+            framed: None,
+            finished: None,
+        };
+        assert_eq!(tl.total_us(), 4290);
+        let r = Response::new("t", Outcome::Pong, WireStats::default()).with_timeline(tl);
+        let line = r.to_json().to_string();
+        assert!(!line.contains('\n'));
+        let back = Response::from_line(&line).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.timeline, Some(tl));
+        // In-process instants never reach the wire: a timeline carrying
+        // them encodes identically to one without.
+        let stamped = Timeline {
+            framed: Some(std::time::Instant::now()),
+            finished: Some(std::time::Instant::now()),
+            ..tl
+        };
+        assert_eq!(stamped.to_json().to_string(), tl.to_json().to_string());
+    }
+
+    #[test]
+    fn absent_timeline_field_decodes_as_none() {
+        // v1 replies have no `timeline` key: the section is additive,
+        // exactly like `fragment`.
+        let line = r#"{"v":1,"id":"x","status":"ok",
+            "work":{"steps":0,"tuples":0,"elapsed_ms":0,"index_builds":0,"index_tuples":0},
+            "result":{"kind":"pong"}}"#
+            .replace('\n', "");
+        let back = Response::from_line(&line).unwrap();
+        assert_eq!(back.timeline, None);
     }
 }

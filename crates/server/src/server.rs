@@ -46,9 +46,11 @@ use crate::cache::{CacheConfig, InstanceCache};
 use crate::engine::EngineCtx;
 use crate::metrics::Metrics;
 use crate::netpoll::{self, PollFd, WakeRx, Waker, POLLCLOSED, POLLIN, POLLOUT};
-use crate::pool::{Job, Pool, QueueHandle, ReplyTo, SubmitError};
-use crate::proto::{Envelope, ErrorKind, Limits, Outcome, Response, WireMetrics, WireStats};
-use std::collections::BTreeMap;
+use crate::pool::{Job, PhaseStamps, Pool, QueueHandle, ReplyTo, SubmitError};
+use crate::proto::{
+    Envelope, ErrorKind, Limits, Outcome, Response, Timeline, WireMetrics, WireStats,
+};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -106,6 +108,11 @@ pub struct ServerCaps {
     /// Bounding it makes slow-reader backpressure deterministic (tests);
     /// `None` leaves kernel autotuning alone.
     pub sock_sndbuf: Option<usize>,
+    /// Slow-request log threshold: a request whose end-to-end latency
+    /// (frame-complete to write-drained) reaches this many milliseconds
+    /// is logged to stderr with its full phase breakdown. `None` (the
+    /// default) disables the log.
+    pub slow_log_ms: Option<u64>,
 }
 
 impl Default for ServerCaps {
@@ -122,6 +129,7 @@ impl Default for ServerCaps {
             max_inflight_per_conn: 64,
             max_writeq_bytes: 1 << 20,
             sock_sndbuf: None,
+            slow_log_ms: None,
         }
     }
 }
@@ -172,6 +180,15 @@ struct Shared {
     g_conns_open: Arc<vqd_obs::Gauge>,
     g_pipelined: Arc<vqd_obs::Gauge>,
     g_writeq: Arc<vqd_obs::Gauge>,
+    /// Per-phase latency histograms observed for *every* loop-served
+    /// request (profiled or not): frame/queue/exec/reorder at reply
+    /// serialization, write + end-to-end at kernel drain.
+    h_frame: Arc<vqd_obs::Histogram>,
+    h_queue: Arc<vqd_obs::Histogram>,
+    h_exec: Arc<vqd_obs::Histogram>,
+    h_reorder: Arc<vqd_obs::Histogram>,
+    h_write: Arc<vqd_obs::Histogram>,
+    h_e2e: Arc<vqd_obs::Histogram>,
 }
 
 impl Shared {
@@ -185,6 +202,13 @@ impl Shared {
         let g_conns_open = registry.gauge("server.conns_open");
         let g_pipelined = registry.gauge("server.pipelined_depth");
         let g_writeq = registry.gauge("server.writeq_bytes");
+        let bounds = &vqd_obs::LATENCY_BOUNDS_MS;
+        let h_frame = registry.histogram("server.phase.frame_ms", bounds);
+        let h_queue = registry.histogram("server.phase.queue_ms", bounds);
+        let h_exec = registry.histogram("server.phase.exec_ms", bounds);
+        let h_reorder = registry.histogram("server.phase.reorder_ms", bounds);
+        let h_write = registry.histogram("server.phase.write_ms", bounds);
+        let h_e2e = registry.histogram("server.e2e_ms", bounds);
         Shared {
             master: Budget::unlimited(),
             caps,
@@ -196,6 +220,12 @@ impl Shared {
             g_conns_open,
             g_pipelined,
             g_writeq,
+            h_frame,
+            h_queue,
+            h_exec,
+            h_reorder,
+            h_write,
+            h_e2e,
         }
     }
 
@@ -411,6 +441,25 @@ impl LoopHandle {
     }
 }
 
+/// A serialized reply awaiting its kernel drain, identified by the
+/// cumulative byte offset its last byte occupies in the connection's
+/// write stream. When `flush_writes` advances `Conn::write_base` past
+/// `end`, the reply has fully left the process: that instant closes the
+/// write phase (`server.phase.write_ms`), the end-to-end histogram
+/// (`server.e2e_ms`), and — past `ServerCaps::slow_log_ms` — feeds the
+/// slow-request log.
+struct ReplyMark {
+    /// Cumulative stream offset one past this reply's final byte.
+    end: u64,
+    /// Correlation id, for the slow-request log line.
+    id: String,
+    /// When `deliver` serialized the reply (closes the reorder phase,
+    /// opens the write phase).
+    released: Instant,
+    /// The finalized phase timeline (reorder filled, write still open).
+    timeline: Timeline,
+}
+
 /// Per-connection state owned by exactly one event loop.
 struct Conn {
     id: u64,
@@ -419,6 +468,13 @@ struct Conn {
     read_buf: Vec<u8>,
     /// Serialized replies not yet accepted by the kernel.
     write_buf: Vec<u8>,
+    /// Cumulative bytes drained to the kernel over this connection's
+    /// lifetime; `write_base + write_buf.len()` is the stream offset of
+    /// the next serialized byte.
+    write_base: u64,
+    /// Worker-served replies sitting in `write_buf`, oldest first,
+    /// waiting for their drain instant.
+    write_marks: VecDeque<ReplyMark>,
     /// Sequence number the next parsed request will get.
     next_seq: u64,
     /// Sequence number whose reply is next in line to be serialized.
@@ -449,6 +505,8 @@ impl Conn {
             stream,
             read_buf: Vec::new(),
             write_buf: Vec::new(),
+            write_base: 0,
+            write_marks: VecDeque::new(),
             next_seq: 0,
             next_to_send: 0,
             pending: BTreeMap::new(),
@@ -780,6 +838,9 @@ impl IoLoop {
     /// leave in request order even when request 5 fails fast while
     /// request 2 is still on a worker.
     fn process_one_line(&mut self, conn: &mut Conn, raw: &[u8]) {
+        // Phase stamp 1 of 6 (frame-complete): a full request line is in
+        // hand; decode + admission happen between here and enqueue.
+        let framed = Instant::now();
         let text = String::from_utf8_lossy(raw);
         let line = text.trim();
         if line.is_empty() {
@@ -815,7 +876,10 @@ impl IoLoop {
         let reply = ReplyTo::Callback(Box::new(move |response| {
             home.send(LoopMsg::Done { conn: conn_id, seq, response: Box::new(response) });
         }));
-        match self.queue.submit(Job { envelope, budget, reply }) {
+        // Phase stamp 2 of 6 (admission-enqueue); stamps 3–4 land in the
+        // pool worker, 5–6 back here in `deliver`/`flush_writes`.
+        let stamps = Some(PhaseStamps { framed, enqueued: Instant::now() });
+        match self.queue.submit(Job { envelope, budget, reply, stamps }) {
             Ok(()) => {
                 conn.in_flight += 1;
                 self.shared.g_pipelined.raise_to(conn.in_flight as u64);
@@ -847,10 +911,40 @@ impl IoLoop {
     fn deliver(&mut self, conn: &mut Conn, seq: u64, response: Response) {
         conn.pending.insert(seq, response);
         let before = conn.write_buf.len();
-        while let Some(r) = conn.pending.remove(&conn.next_to_send) {
+        while let Some(mut r) = conn.pending.remove(&conn.next_to_send) {
+            // Phase stamp 5 of 6 (reorder-release): the reply is next in
+            // line and is serialized now. Close the reorder phase,
+            // observe the worker-side phases for every request (the wire
+            // timeline stays profiled-only), and leave a mark so the
+            // kernel drain can close write/e2e.
+            let released = Instant::now();
+            let mut mark = None;
+            if let Some(tl) = r.timeline.as_mut() {
+                if let Some(finished) = tl.finished {
+                    tl.reorder_us = released.duration_since(finished).as_micros() as u64;
+                }
+                self.shared.h_frame.observe(tl.frame_us / 1000);
+                self.shared.h_queue.observe(tl.queue_us / 1000);
+                self.shared.h_exec.observe(tl.exec_us / 1000);
+                self.shared.h_reorder.observe(tl.reorder_us / 1000);
+                if tl.framed.is_some() {
+                    mark = Some((r.id.clone(), *tl));
+                }
+            }
+            if r.profile.is_none() {
+                r.timeline = None;
+            }
             let line = r.to_json().to_string();
             conn.write_buf.extend_from_slice(line.as_bytes());
             conn.write_buf.push(b'\n');
+            if let Some((id, timeline)) = mark {
+                conn.write_marks.push_back(ReplyMark {
+                    end: conn.write_base + conn.write_buf.len() as u64,
+                    id,
+                    released,
+                    timeline,
+                });
+            }
             conn.next_to_send += 1;
         }
         self.shared.writeq_delta(before, conn.write_buf.len());
@@ -871,6 +965,7 @@ impl IoLoop {
         self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
         let before = conn.write_buf.len();
         conn.write_buf.clear();
+        conn.write_marks.clear();
         conn.pending.clear();
         let response = Response::error(
             "",
@@ -955,6 +1050,32 @@ fn flush_writes(conn: &mut Conn, shared: &Shared) {
     }
     if written > 0 {
         conn.write_buf.drain(..written);
+        conn.write_base += written as u64;
+        // Phase stamp 6 of 6 (write-drained) for every reply whose last
+        // byte the kernel just accepted: close the write phase and the
+        // end-to-end clock, and apply the slow-request threshold.
+        let drained = Instant::now();
+        while conn.write_marks.front().is_some_and(|m| m.end <= conn.write_base) {
+            let Some(m) = conn.write_marks.pop_front() else { break };
+            let write_us = drained.duration_since(m.released).as_micros() as u64;
+            shared.h_write.observe(write_us / 1000);
+            let Some(framed) = m.timeline.framed else { continue };
+            let e2e_ms = drained.duration_since(framed).as_millis() as u64;
+            shared.h_e2e.observe(e2e_ms);
+            if shared.caps.slow_log_ms.is_some_and(|t| e2e_ms >= t) {
+                eprintln!(
+                    "slow-request id={:?} e2e_ms={} frame_us={} queue_us={} exec_us={} \
+                     reorder_us={} write_us={}",
+                    m.id,
+                    e2e_ms,
+                    m.timeline.frame_us,
+                    m.timeline.queue_us,
+                    m.timeline.exec_us,
+                    m.timeline.reorder_us,
+                    write_us,
+                );
+            }
+        }
     }
     shared.writeq_delta(before, conn.write_buf.len());
     // A closing connection ends once nothing is owed: its queue is

@@ -20,6 +20,8 @@
 //! vqd-cli put      [--addr 127.0.0.1:7471] --schema "V/2" --extent "V(a,b)."
 //! vqd-cli evict    [--addr 127.0.0.1:7471] --handle h1
 //! vqd-cli stats    [--addr 127.0.0.1:7471]
+//! vqd-cli metrics  [--addr 127.0.0.1:7471] [--prom]
+//! vqd-cli flight   [--addr 127.0.0.1:7471]
 //! vqd-cli classify [--addr 127.0.0.1:7471] --schema "E/2" --views "..." --query "..."
 //! ```
 //!
@@ -44,6 +46,17 @@
 //! chasing anything; determinacy replies carry the same attribution as
 //! a `fragment:` line.
 //!
+//! `metrics --prom` prints the same registry in Prometheus
+//! text-exposition format (pipe it into a scrape file or a pushgateway);
+//! `flight` dumps the server's flight recorder — the last
+//! [`vqd::obs::FLIGHT_CAPACITY`] request digests (op, outcome, phase
+//! timings, work stats) as JSONL, the same lines the server writes to
+//! stderr on a worker panic, a disk fault, or budget exhaustion.
+//! `serve --slow-ms N` logs every request whose end-to-end latency
+//! reaches N milliseconds to stderr with its full phase breakdown.
+//! `request --profile` replies additionally carry a `timeline` section:
+//! per-phase µs (frame/queue/exec/reorder/write) for that request.
+//!
 //! `--cache-dir PATH` makes the cache persistent: derived entries spill
 //! to an append-only checksummed segment and the handle table is
 //! snapshotted, so a killed-and-restarted server answers its first
@@ -58,8 +71,8 @@ use vqd::instance::{DomainNames, Schema};
 use vqd::query::{parse_program, parse_query, CqLang, QueryExpr, ViewSet};
 use vqd::server::{self, Client, Limits, Outcome, Request, ServerCaps, ServerConfig};
 
-const USAGE: &str = "usage: vqd-cli <analyze|serve|request|put|evict|stats|classify> [flags] \
-                     (see `vqd-cli <subcommand> --help`)";
+const USAGE: &str = "usage: vqd-cli <analyze|serve|request|put|evict|stats|metrics|flight|\
+                     classify> [flags] (see `vqd-cli <subcommand> --help`)";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -80,6 +93,8 @@ fn main() {
         Some("put") => cmd_put(&argv[1..]),
         Some("evict") => cmd_evict(&argv[1..]),
         Some("stats") => cmd_stats(&argv[1..]),
+        Some("metrics") => cmd_metrics(&argv[1..]),
+        Some("flight") => cmd_flight(&argv[1..]),
         Some("classify") => cmd_classify(&argv[1..]),
         // Original flag-only invocation: treat as `analyze`.
         Some(flag) if flag.starts_with("--") => cmd_analyze(&argv),
@@ -253,7 +268,8 @@ fn serve_usage() -> ! {
         "usage: vqd-cli serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
          [--io-threads N] [--max-conns N] [--max-inflight N] \
          [--max-deadline-ms N] [--max-steps N] [--max-tuples N] \
-         [--cache-entries N] [--cache-bytes N] [--cache-dir PATH] [--disk-bytes N]"
+         [--cache-entries N] [--cache-bytes N] [--cache-dir PATH] [--disk-bytes N] \
+         [--slow-ms N] [--debug-ops]"
     );
     std::process::exit(2)
 }
@@ -275,6 +291,8 @@ fn cmd_serve(argv: &[String]) {
             "--io-threads" => caps.io_threads = num_of(&mut it, flag),
             "--max-conns" => caps.max_conns = num_of(&mut it, flag),
             "--max-inflight" => caps.max_inflight_per_conn = num_of(&mut it, flag),
+            "--slow-ms" => caps.slow_log_ms = Some(num_of(&mut it, flag)),
+            "--debug-ops" => caps.enable_debug_ops = true,
             "--cache-entries" => caps.cache.max_entries = num_of(&mut it, flag),
             "--cache-bytes" => caps.cache.max_bytes = num_of(&mut it, flag),
             "--cache-dir" => {
@@ -329,7 +347,7 @@ fn request_usage() -> ! {
     eprintln!(
         "usage: vqd-cli request [--addr HOST:PORT] --op \
          <ping|decide|rewrite|classify|certain|containment|finite|semantic|put_instance|\
-         evict_instance|cache_stats|stats|shutdown> \
+         evict_instance|cache_stats|stats|metrics_prom|flight|shutdown> \
          [--schema S] [--views V] [--query Q] [--extent E | --handle H] \
          [--q1 Q] [--q2 Q] [--max-domain N] [--domain N] [--space-limit N] \
          [--deadline-ms N] [--step-limit N] [--tuple-limit N] [--profile] [--trace]"
@@ -384,6 +402,8 @@ fn cmd_request(argv: &[String]) {
     let request = match op.as_str() {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "metrics_prom" | "metrics-prom" => Request::MetricsProm,
+        "flight" => Request::Flight,
         "shutdown" => Request::Shutdown,
         "decide" | "decide_unrestricted" => {
             Request::Decide { schema, views, query }
@@ -422,6 +442,12 @@ fn cmd_request(argv: &[String]) {
     println!("{}", response.outcome);
     if let Some(fragment) = &response.fragment {
         println!("[fragment: {fragment}]");
+    }
+    if let Some(tl) = &response.timeline {
+        println!(
+            "[timeline: frame={}us queue={}us exec={}us reorder={}us write={}us]",
+            tl.frame_us, tl.queue_us, tl.exec_us, tl.reorder_us, tl.write_us
+        );
     }
     println!(
         "[{} steps, {} tuples, {} index builds, {} ms server-side]",
@@ -534,6 +560,61 @@ fn cmd_evict(argv: &[String]) {
         Outcome::Evicted { .. } => 0,
         _ => 3,
     });
+}
+
+// ---------------------------------------------------------------------
+// `metrics` / `flight`
+// ---------------------------------------------------------------------
+
+fn cmd_metrics(argv: &[String]) {
+    let mut addr = "127.0.0.1:7471".to_owned();
+    let mut prom = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value_of(&mut it, flag),
+            "--prom" => prom = true,
+            "--help" | "-h" => {
+                eprintln!("usage: vqd-cli metrics [--addr HOST:PORT] [--prom]");
+                std::process::exit(2)
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    if !prom {
+        // Human-readable view == the stats rendering.
+        cmd_stats(&["--addr".to_owned(), addr]);
+        return;
+    }
+    let text = connect(&addr).metrics_prom().unwrap_or_else(|e| {
+        eprintln!("metrics failed: {e}");
+        std::process::exit(1)
+    });
+    print!("{text}");
+}
+
+fn cmd_flight(argv: &[String]) {
+    let mut addr = "127.0.0.1:7471".to_owned();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = value_of(&mut it, flag),
+            "--help" | "-h" => {
+                eprintln!("usage: vqd-cli flight [--addr HOST:PORT]");
+                std::process::exit(2)
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    let jsonl = connect(&addr).flight().unwrap_or_else(|e| {
+        eprintln!("flight failed: {e}");
+        std::process::exit(1)
+    });
+    if jsonl.is_empty() {
+        println!("(flight recorder empty)");
+    } else {
+        print!("{jsonl}");
+    }
 }
 
 // ---------------------------------------------------------------------
