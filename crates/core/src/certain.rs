@@ -18,7 +18,8 @@
 use crate::answering::for_each_preimage;
 use vqd_budget::VqdError;
 use vqd_chase::{v_inverse_indexed, CqViews};
-use vqd_eval::{eval_cq, eval_query, EvalInput};
+use vqd_eval::{eval_cq_ctx, eval_query, EvalInput};
+use vqd_exec::ExecInput;
 use vqd_instance::{IndexedInstance, Instance, NullGen, Relation};
 use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
 
@@ -30,23 +31,42 @@ use vqd_query::{Cq, CqLang, QueryExpr, ViewSet};
 /// Panics unless `q` is a plain CQ (the chase argument needs
 /// monotonicity and freeness from built-ins).
 pub fn certain_sound(views: &CqViews, q: &Cq, extent: &Instance) -> Relation {
-    match certain_sound_budgeted(views, q, extent, &vqd_budget::Budget::unlimited()) {
+    match certain_sound_ctx(views, q, extent, &vqd_budget::Budget::unlimited()) {
         Ok(r) => r,
         Err(e) => panic!("certain_sound: {e}"),
     }
 }
 
-/// Budgeted, fallible [`certain_sound`]: the chase draws on `budget`,
-/// and a non-CQ query is a structured [`VqdError`] instead of a panic.
+/// Fallible [`certain_sound`] under an execution context: the chase
+/// draws on the context's budget, a non-CQ query is a structured
+/// [`VqdError`] instead of a panic, and a parallel
+/// [`ExecCtx`](vqd_exec::ExecCtx) fans the homomorphism search of the
+/// final evaluation out across the engine pool (per root candidate),
+/// byte-identically to sequential. Pass a bare
+/// [`Budget`](vqd_budget::Budget) for the historical sequential
+/// behaviour — every pre-existing call site compiles unchanged.
+pub fn certain_sound_ctx(
+    views: &CqViews,
+    q: &Cq,
+    extent: &Instance,
+    cx: &impl ExecInput,
+) -> Result<Relation, VqdError> {
+    require_plain_cq(q)?; // reject before paying for the chase
+    let chased = canonical_database_budgeted(views, extent, cx)?;
+    certain_from_canonical(q, &chased, cx)
+}
+
+/// Deprecated spelling of [`certain_sound_ctx`]: that entry point
+/// accepts a bare `&Budget` directly (it is an [`ExecInput`]), so the
+/// `_budgeted` name survives only for out-of-tree callers of the
+/// historical API.
 pub fn certain_sound_budgeted(
     views: &CqViews,
     q: &Cq,
     extent: &Instance,
     budget: &vqd_budget::Budget,
 ) -> Result<Relation, VqdError> {
-    require_plain_cq(q)?; // reject before paying for the chase
-    let chased = canonical_database_budgeted(views, extent, budget)?;
-    certain_from_canonical(q, &chased, budget)
+    certain_sound_ctx(views, q, extent, budget)
 }
 
 fn require_plain_cq(q: &Cq) -> Result<(), VqdError> {
@@ -71,25 +91,35 @@ fn require_plain_cq(q: &Cq) -> Result<(), VqdError> {
 pub fn canonical_database_budgeted(
     views: &CqViews,
     extent: &Instance,
-    budget: &vqd_budget::Budget,
+    cx: &impl ExecInput,
 ) -> Result<IndexedInstance, VqdError> {
     let mut nulls = NullGen::new();
     let empty = Instance::empty(views.as_view_set().input_schema());
-    v_inverse_indexed(views, &empty, extent, &mut nulls, budget)
+    v_inverse_indexed(views, &empty, extent, &mut nulls, cx.budget())
 }
 
 /// Evaluates `q` over a canonical database from
 /// [`canonical_database_budgeted`] and keeps the null-free tuples — the
-/// second half of [`certain_sound_budgeted`]. Pass the chased index (or
-/// a shared `Arc` of it) to evaluate with no further index builds.
+/// second half of [`certain_sound_ctx`]. Pass the chased index (or a
+/// shared `Arc` of it) to evaluate with no further index builds.
+///
+/// This is the hot path intra-request parallelism targets: under a
+/// parallel [`ExecCtx`](vqd_exec::ExecCtx) the homomorphism space is
+/// strided per root candidate across the engine pool and the shard
+/// relations merge canonically, so the evaluated relation — and
+/// therefore the filtered certain answers, which are computed in one
+/// sequential pass so the budget's step count stays exactly the
+/// sequential one — is byte-identical.
 pub fn certain_from_canonical<I: EvalInput + ?Sized>(
     q: &Cq,
     chased: &I,
-    budget: &vqd_budget::Budget,
+    cx: &impl ExecInput,
 ) -> Result<Relation, VqdError> {
     require_plain_cq(q)?;
+    let budget = cx.budget();
+    let evaluated = eval_cq_ctx(q, chased, cx)?;
     let mut out = Relation::new(q.arity());
-    for t in eval_cq(q, chased).iter() {
+    for t in evaluated.iter() {
         budget.checkpoint_with(&format_args!(
             "filtering certain answers: {} kept so far",
             out.len()

@@ -3,39 +3,68 @@
 //! The semantic checker's work — enumerate every instance, apply the
 //! views, evaluate the query — is embarrassingly parallel once the
 //! enumeration is random-access ([`vqd_instance::gen::instance_at`]).
-//! Workers scan disjoint index ranges building local `image → answer`
-//! maps; a merge pass compares overlapping images across workers.
+//! Shards scan disjoint index ranges building local `image → answer`
+//! maps on the engine's [`ExecPool`](vqd_exec::ExecPool); a merge pass
+//! compares overlapping images across shards.
 //!
-//! All workers draw down clones of one shared [`Budget`]: a found
+//! All shards draw down the context's shared [`Budget`]: a found
 //! counterexample short-circuits the scan through the budget's
 //! [`CancelToken`](vqd_budget::CancelToken) (the same token an external
 //! caller can trip to abort the whole check), and a budget trip in any
-//! worker surfaces as a single [`SemanticVerdict::Exhausted`] after all
-//! workers have parked cleanly — no worker is ever detached or killed.
+//! shard surfaces as a single [`SemanticVerdict::Exhausted`] after all
+//! shards have parked cleanly — no shard is ever detached or killed.
 //!
 //! This is the "many cores vs. exponential wall" ablation for figure F4:
 //! parallelism buys a constant factor against a `2^(n^k)` space — the
 //! paper's decision procedures remain the only real way out.
 
-use crate::determinacy::semantic::{Counterexample, SemanticVerdict};
+use crate::determinacy::semantic::{check_exhaustive_budgeted, Counterexample, SemanticVerdict};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use vqd_budget::{Budget, ExhaustReason, Exhausted, VqdError};
 use vqd_eval::{apply_views, eval_query};
+use vqd_exec::{ExecCtx, ExecInput, ExecPool};
 use vqd_instance::gen::{instance_at, space_size};
 use vqd_instance::{Instance, Relation};
 use vqd_query::{QueryExpr, ViewSet};
 
 /// Locks a mutex, recovering the data if a previous holder panicked.
-/// Workers contain no panicking paths, but governance demands that even
+/// Shards contain no panicking paths, but governance demands that even
 /// an unexpected one cannot poison the verdict channel.
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Exhaustive semantic determinacy check under an execution context —
+/// the canonical entry point behind
+/// [`check_exhaustive`](crate::determinacy::semantic::check_exhaustive),
+/// [`check_exhaustive_budgeted`], and the `_parallel` spellings.
+///
+/// A sequential context (a bare [`Budget`] qualifies) runs the
+/// historical single-threaded scan, checkpoint for checkpoint. A
+/// parallel [`ExecCtx`] splits the instance space into
+/// `cx.parallelism()` contiguous ranges and scans them on the engine
+/// pool; a definitive counterexample always wins over exhaustion — if
+/// one shard refutes determinacy while another trips the budget, the
+/// verdict is `NotDetermined`.
+pub fn check_exhaustive_ctx(
+    views: &ViewSet,
+    q: &QueryExpr,
+    n: usize,
+    limit: u128,
+    cx: &impl ExecInput,
+) -> Result<SemanticVerdict, VqdError> {
+    match cx.exec() {
+        Some(ec) if ec.is_parallel() => scan_sharded(views, q, n, limit, ec),
+        _ => check_exhaustive_budgeted(views, q, n, limit, cx.budget()),
+    }
+}
+
 /// Parallel variant of
 /// [`check_exhaustive`](crate::determinacy::semantic::check_exhaustive):
 /// same contract, `threads`-way parallel scan, unlimited budget.
+/// Deprecated spelling of [`check_exhaustive_ctx`] with
+/// [`ExecCtx::with_parallelism`].
 pub fn check_exhaustive_parallel(
     views: &ViewSet,
     q: &QueryExpr,
@@ -46,13 +75,10 @@ pub fn check_exhaustive_parallel(
     check_exhaustive_parallel_budgeted(views, q, n, limit, threads, &Budget::unlimited())
 }
 
-/// Budgeted `threads`-way exhaustive scan.
-///
-/// Every worker clones `budget`, so step/tuple limits apply to the
-/// *total* work across workers, and cancelling the budget's token stops
-/// all of them at their next checkpoint. A definitive counterexample
-/// always wins over exhaustion: if one worker refutes determinacy while
-/// another trips the budget, the verdict is `NotDetermined`.
+/// Budgeted `threads`-way exhaustive scan. Deprecated spelling of
+/// [`check_exhaustive_ctx`] with [`ExecCtx::on_pool`]; step/tuple
+/// limits still apply to the *total* work across shards, and cancelling
+/// the budget's token stops all of them at their next checkpoint.
 pub fn check_exhaustive_parallel_budgeted(
     views: &ViewSet,
     q: &QueryExpr,
@@ -67,6 +93,19 @@ pub fn check_exhaustive_parallel_budgeted(
             message: "thread count must be at least 1".to_string(),
         });
     }
+    let cx = ExecCtx::on_pool(budget.clone(), threads, Arc::clone(ExecPool::global()));
+    check_exhaustive_ctx(views, q, n, limit, &cx)
+}
+
+/// The parallel scan body: disjoint contiguous index ranges, local
+/// image maps, shared budget, merge pass at the end.
+fn scan_sharded(
+    views: &ViewSet,
+    q: &QueryExpr,
+    n: usize,
+    limit: u128,
+    ec: &ExecCtx,
+) -> Result<SemanticVerdict, VqdError> {
     let schema = views.input_schema();
     if q.schema() != schema {
         return Err(VqdError::SchemaMismatch {
@@ -81,70 +120,64 @@ pub fn check_exhaustive_parallel_budgeted(
     };
     let found: Mutex<Option<Counterexample>> = Mutex::new(None);
     let tripped: Mutex<Option<Exhausted>> = Mutex::new(None);
+    let budget = ec.budget();
     let cancel = budget.cancel_token();
 
-    let chunk = total.div_ceil(threads as u128);
-    let maps: Vec<HashMap<Instance, (Instance, Relation)>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let found = &found;
-            let tripped = &tripped;
-            let cancel = &cancel;
-            let worker_budget = budget.clone();
-            handles.push(scope.spawn(move || {
-                let lo = chunk * t as u128;
-                let hi = total.min(lo + chunk);
-                let mut local: HashMap<Instance, (Instance, Relation)> = HashMap::new();
-                let mut i = lo;
-                while i < hi {
-                    if let Err(e) = worker_budget.checkpoint_with(&format_args!(
-                        "worker {t} scanned up to index {i} of [{lo}, {hi}) \
-                         over domain {n}, no counterexample"
-                    )) {
-                        // A cancellation *caused by* a sibling's find or
-                        // trip is not itself news; first trip wins.
-                        let mut slot = lock_unpoisoned(tripped);
+    let shards = ec.parallelism();
+    let chunk = total.div_ceil(shards as u128);
+    // Shards never surface errors through `run_shards`: a trip or a find
+    // is recorded in the shared slots (first trip wins; a cancellation
+    // *caused by* a sibling's find or trip is not itself news) and the
+    // siblings are cancelled, so every shard's local map survives for
+    // the merge pass and a counterexample can outrank an exhaustion.
+    let maps = ec.run_shards(shards, |t| -> Result<_, Exhausted> {
+        let lo = chunk * t as u128;
+        let hi = total.min(lo + chunk);
+        let mut local: HashMap<Instance, (Instance, Relation)> = HashMap::new();
+        let mut i = lo;
+        while i < hi {
+            if let Err(e) = budget.checkpoint_with(&format_args!(
+                "shard {t} scanned up to index {i} of [{lo}, {hi}) \
+                 over domain {n}, no counterexample"
+            )) {
+                let mut slot = lock_unpoisoned(&tripped);
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                cancel.cancel();
+                break;
+            }
+            let d = instance_at(schema, n, i);
+            // One index per candidate instance, shared by V and Q.
+            let idx = vqd_instance::IndexedInstance::new(d);
+            let image = apply_views(views, &idx);
+            let out = eval_query(q, &idx);
+            let d = idx.into_instance();
+            match local.get(&image) {
+                None => {
+                    local.insert(image, (d, out));
+                }
+                Some((d1, q1)) => {
+                    if *q1 != out {
+                        let mut slot = lock_unpoisoned(&found);
                         if slot.is_none() {
-                            *slot = Some(e);
+                            *slot = Some(Counterexample {
+                                d1: d1.clone(),
+                                d2: d,
+                                image,
+                                q1: q1.clone(),
+                                q2: out,
+                            });
                         }
                         cancel.cancel();
                         break;
                     }
-                    let d = instance_at(schema, n, i);
-                    // One index per candidate instance, shared by V and Q.
-                    let idx = vqd_instance::IndexedInstance::new(d);
-                    let image = apply_views(views, &idx);
-                    let out = eval_query(q, &idx);
-                    let d = idx.into_instance();
-                    match local.get(&image) {
-                        None => {
-                            local.insert(image, (d, out));
-                        }
-                        Some((d1, q1)) => {
-                            if *q1 != out {
-                                *lock_unpoisoned(found) = Some(Counterexample {
-                                    d1: d1.clone(),
-                                    d2: d,
-                                    image,
-                                    q1: q1.clone(),
-                                    q2: out,
-                                });
-                                cancel.cancel();
-                                break;
-                            }
-                        }
-                    }
-                    i += 1;
                 }
-                local
-            }));
+            }
+            i += 1;
         }
-        handles
-            .into_iter()
-            // The Err arm is unreachable: workers have no panicking paths.
-            .map(|h| h.join().unwrap_or_default())
-            .collect()
-    });
+        Ok(local)
+    })?;
 
     if let Some(c) = found.into_inner().unwrap_or_else(|p| p.into_inner()) {
         return Ok(SemanticVerdict::NotDetermined(Box::new(c)));
@@ -163,7 +196,7 @@ pub fn check_exhaustive_parallel_budgeted(
         ));
         return Ok(SemanticVerdict::Exhausted(Box::new(e)));
     }
-    // Merge pass: images seen by several workers must agree.
+    // Merge pass: images seen by several shards must agree.
     let mut merged: HashMap<Instance, (Instance, Relation)> = HashMap::new();
     for local in maps {
         for (image, (d, out)) in local {
@@ -230,6 +263,23 @@ mod tests {
                 }
                 other => panic!("threads={threads}: {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn ctx_entry_point_spans_sequential_and_parallel() {
+        let (v, q) = setup("V(x,y) :- E(x,y).", "Q(x,z) :- E(x,y), E(y,z).");
+        for parallelism in [1, 3] {
+            let cx = ExecCtx::with_parallelism(Budget::unlimited(), parallelism);
+            match check_exhaustive_ctx(&v, &q, 3, 1 << 26, &cx).unwrap() {
+                SemanticVerdict::NoCounterexampleUpTo(3) => {}
+                other => panic!("parallelism={parallelism}: {other:?}"),
+            }
+        }
+        // A bare budget is a sequential context.
+        match check_exhaustive_ctx(&v, &q, 3, 1 << 26, &Budget::unlimited()).unwrap() {
+            SemanticVerdict::NoCounterexampleUpTo(3) => {}
+            other => panic!("bare budget: {other:?}"),
         }
     }
 

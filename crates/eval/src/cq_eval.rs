@@ -5,9 +5,11 @@
 //! the safely negated atoms. Equalities are compiled away up front by
 //! unification, so the homomorphism engine only ever sees positive atoms.
 
-use crate::hom::{for_each_hom, Assignment, Ordering};
+use crate::hom::{for_each_hom_sharded, Assignment, Ordering};
 use crate::input::EvalInput;
 use std::collections::BTreeMap;
+use vqd_budget::VqdError;
+use vqd_exec::ExecInput;
 use vqd_instance::{IndexedInstance, Relation, Value};
 use vqd_query::{Cq, Term, Ucq, VarId};
 
@@ -119,6 +121,25 @@ pub fn eval_cq_with_index(q: &Cq, index: &IndexedInstance) -> Relation {
 }
 
 fn eval_cq_core(q: &Cq, index: &IndexedInstance) -> Relation {
+    eval_cq_shard(q, index, 0, 1)
+}
+
+/// Evaluates one root-candidate shard of a conjunctive query: shard
+/// `shard` of `shards` of the homomorphism space (see
+/// [`for_each_hom_sharded`]). The per-shard results union — in any
+/// order, since [`Relation`] stores tuples canonically — to exactly
+/// [`eval_cq`]'s answer; this is the work unit the parallel evaluator
+/// and the fixpoint bench fan out.
+pub fn eval_cq_sharded(
+    q: &Cq,
+    index: &IndexedInstance,
+    shard: usize,
+    shards: usize,
+) -> Relation {
+    eval_cq_shard(q, index, shard, shards)
+}
+
+fn eval_cq_shard(q: &Cq, index: &IndexedInstance, shard: usize, shards: usize) -> Relation {
     let d = index.instance();
     let mut out = Relation::new(q.arity());
     let Some(q) = normalize_eqs(q) else {
@@ -134,11 +155,13 @@ fn eval_cq_core(q: &Cq, index: &IndexedInstance) -> Relation {
             Term::Var(v) => *asg.get(&v).expect("safe query: head/constraint var bound"),
         }
     };
-    for_each_hom(
+    for_each_hom_sharded(
         &q.atoms,
         index,
         &Assignment::new(),
         Ordering::MostConstrained,
+        shard,
+        shards,
         |asg| {
             // ≠ constraints.
             for &(a, b) in &q.neqs {
@@ -176,6 +199,62 @@ pub fn eval_ucq<I: EvalInput + ?Sized>(u: &Ucq, input: &I) -> Relation {
 /// index to [`eval_ucq`] directly.
 pub fn eval_ucq_with_index(u: &Ucq, index: &IndexedInstance) -> Relation {
     eval_ucq(u, index)
+}
+
+/// [`eval_cq`] under an execution context: with a parallel
+/// [`ExecCtx`](vqd_exec::ExecCtx) the root-candidate shards of the
+/// homomorphism search run on the engine pool and their results merge
+/// in shard order — byte-identical to the sequential answer, since
+/// shards partition the hom space and [`Relation`] is canonical. With a
+/// bare [`Budget`](vqd_budget::Budget) (or a sequential context) this
+/// *is* [`eval_cq`].
+pub fn eval_cq_ctx<I: EvalInput + ?Sized>(
+    q: &Cq,
+    input: &I,
+    cx: &impl ExecInput,
+) -> Result<Relation, VqdError> {
+    let index = input.index();
+    match cx.exec() {
+        Some(ec) if ec.is_parallel() => {
+            let shards = ec.parallelism();
+            let parts = ec.run_shards(shards, |i| Ok(eval_cq_sharded(q, &index, i, shards)))?;
+            let mut out = Relation::new(q.arity());
+            for part in &parts {
+                out.union_with(part);
+            }
+            Ok(out)
+        }
+        _ => Ok(eval_cq_core(q, &index)),
+    }
+}
+
+/// [`eval_ucq`] under an execution context: disjuncts are independent,
+/// so a parallel context evaluates them concurrently over the one
+/// shared index and unions the results in disjunct order (a union is
+/// order-insensitive anyway — [`Relation`] is canonical). A single
+/// disjunct falls through to [`eval_cq_ctx`]'s root-candidate sharding
+/// so lone heavy CQs still fan out.
+pub fn eval_ucq_ctx<I: EvalInput + ?Sized>(
+    u: &Ucq,
+    input: &I,
+    cx: &impl ExecInput,
+) -> Result<Relation, VqdError> {
+    let index = input.index();
+    match cx.exec() {
+        Some(ec) if ec.is_parallel() && u.disjuncts.len() > 1 => {
+            let parts = ec
+                .run_shards(u.disjuncts.len(), |i| Ok(eval_cq_core(&u.disjuncts[i], &index)))?;
+            let mut out = Relation::new(u.arity());
+            for part in &parts {
+                out.union_with(part);
+            }
+            Ok(out)
+        }
+        Some(ec) if ec.is_parallel() && u.disjuncts.len() == 1 => {
+            eval_cq_ctx(&u.disjuncts[0], &*index, cx)
+        }
+        _ => Ok(eval_ucq(u, &*index)),
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +394,35 @@ mod tests {
         let d = instance(&[], &[]);
         let r = eval_cq(&q("Q(x) :- P(x)."), &d);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ctx_variants_match_sequential_byte_for_byte() {
+        use vqd_budget::Budget;
+        use vqd_exec::ExecCtx;
+        let d = instance(&[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (0, 2)], &[1, 3]);
+        let cq = q("Q(x,y) :- E(x,z), E(z,y).");
+        let mut names = DomainNames::new();
+        let vqd_query::QueryExpr::Ucq(u) = parse_query(
+            &schema(),
+            &mut names,
+            "Q(x) :- P(x).\nQ(x) :- E(x,y), P(y).",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let seq_cq = eval_cq(&cq, &d);
+        let seq_ucq = eval_ucq(&u, &d);
+        // A bare budget is a sequential ExecInput.
+        let budget = Budget::unlimited();
+        assert_eq!(eval_cq_ctx(&cq, &d, &budget).unwrap(), seq_cq);
+        assert_eq!(eval_ucq_ctx(&u, &d, &budget).unwrap(), seq_ucq);
+        // A parallel context merges shards back to the same bytes.
+        for par in [2usize, 4, 8] {
+            let cx = ExecCtx::with_parallelism(Budget::unlimited(), par);
+            assert_eq!(eval_cq_ctx(&cq, &d, &cx).unwrap(), seq_cq, "parallelism {par}");
+            assert_eq!(eval_ucq_ctx(&u, &d, &cx).unwrap(), seq_ucq, "parallelism {par}");
+        }
     }
 
     #[test]

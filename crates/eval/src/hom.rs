@@ -132,7 +132,42 @@ pub fn for_each_hom(
 ) -> bool {
     let mut asg = fixed.clone();
     let mut used = vec![false; atoms.len()];
-    search(atoms, index, &mut used, &mut asg, ordering, &mut f)
+    search(atoms, index, &mut used, &mut asg, ordering, None, &mut f)
+}
+
+/// [`for_each_hom`] over one stride of the root candidate list: shard
+/// `shard` of `shards` explores exactly the subtrees rooted at
+/// candidates `shard, shard + shards, shard + 2·shards, …` of the root
+/// atom (the atom the ordering picks first, which depends only on the
+/// pattern, index, and `fixed` — so every shard agrees on it).
+///
+/// The strides partition the search space: running all `shards` shards
+/// enumerates exactly the homomorphisms [`for_each_hom`] does (in a
+/// shard-interleaved order), and per-subtree work — including the
+/// [`Metric::HomCandidatesTried`] counts — is identical to sequential.
+/// The empty pattern's single identity homomorphism is assigned to
+/// shard 0.
+pub fn for_each_hom_sharded(
+    atoms: &[Atom],
+    index: &IndexedInstance,
+    fixed: &Assignment,
+    ordering: Ordering,
+    shard: usize,
+    shards: usize,
+    mut f: impl FnMut(&Assignment) -> bool,
+) -> bool {
+    assert!(shards >= 1 && shard < shards, "shard {shard} of {shards} is out of range");
+    if shards == 1 {
+        return for_each_hom(atoms, index, fixed, ordering, f);
+    }
+    let mut asg = fixed.clone();
+    if atoms.is_empty() {
+        // No root atom to stride over: the identity hom belongs to
+        // exactly one shard.
+        return shard != 0 || f(&asg);
+    }
+    let mut used = vec![false; atoms.len()];
+    search(atoms, index, &mut used, &mut asg, ordering, Some((shard, shards)), &mut f)
 }
 
 fn search(
@@ -141,6 +176,7 @@ fn search(
     used: &mut [bool],
     asg: &mut Assignment,
     ordering: Ordering,
+    stride: Option<(usize, usize)>,
     f: &mut impl FnMut(&Assignment) -> bool,
 ) -> bool {
     // Pick the next atom.
@@ -166,12 +202,18 @@ fn search(
     used[i] = true;
     // Own the candidate id list (cheap: Vec<u32>) so no borrow of the
     // index's hash maps is held across the recursive call.
-    let cands = candidate_ids(index, &atoms[i], asg);
+    let mut cands = candidate_ids(index, &atoms[i], asg);
+    if let Some((shard, shards)) = stride {
+        // Root-level sharding: keep this shard's stride of the root
+        // candidates *before* any per-candidate accounting, so the
+        // shards' HomCandidatesTried counts sum exactly to sequential.
+        cands = cands.into_iter().skip(shard).step_by(shards).collect();
+    }
     for id in cands {
         vqd_obs::count(Metric::HomCandidatesTried, 1);
         let tuple = index.tuple(atoms[i].rel, id);
         if let Some(bound) = try_match(&atoms[i], tuple, asg) {
-            if !search(atoms, index, used, asg, ordering, f) {
+            if !search(atoms, index, used, asg, ordering, None, f) {
                 unbind(asg, &bound);
                 used[i] = false;
                 return false;
@@ -469,6 +511,63 @@ mod tests {
         });
         assert_eq!(maintained, fresh);
         assert!(maintained > 0);
+    }
+
+    #[test]
+    fn shards_partition_the_hom_space_exactly() {
+        use std::collections::BTreeSet;
+        let d = graph(&[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (0, 2)]);
+        let (q, _) = path_pattern(d.schema(), 3);
+        let index = IndexedInstance::from_instance(&d);
+        let mut sequential = BTreeSet::new();
+        for_each_hom(&q.atoms, &index, &Assignment::new(), Ordering::MostConstrained, |asg| {
+            sequential.insert(asg.clone());
+            true
+        });
+        for shards in [1usize, 2, 3, 4, 7] {
+            let mut merged = BTreeSet::new();
+            let mut total = 0usize;
+            for shard in 0..shards {
+                for_each_hom_sharded(
+                    &q.atoms,
+                    &index,
+                    &Assignment::new(),
+                    Ordering::MostConstrained,
+                    shard,
+                    shards,
+                    |asg| {
+                        merged.insert(asg.clone());
+                        total += 1;
+                        true
+                    },
+                );
+            }
+            assert_eq!(merged, sequential, "{shards} shards");
+            // Disjoint: no hom visited by two shards.
+            assert_eq!(total, sequential.len(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_shards_emit_one_identity_hom_total() {
+        let d = graph(&[(0, 1)]);
+        let index = IndexedInstance::from_instance(&d);
+        let mut count = 0;
+        for shard in 0..4 {
+            for_each_hom_sharded(
+                &[],
+                &index,
+                &Assignment::new(),
+                Ordering::MostConstrained,
+                shard,
+                4,
+                |_| {
+                    count += 1;
+                    true
+                },
+            );
+        }
+        assert_eq!(count, 1);
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub use flight::{
     flight_dump, flight_dump_throttled, flight_dump_to, flight_jsonl, flight_record,
     flight_snapshot, flight_total, FlightDigest, FLIGHT_CAPACITY,
 };
-pub use metric::{count, local_snapshot, metric_value, Metric, MetricsSnapshot, METRIC_COUNT};
+pub use metric::{
+    absorb, count, local_snapshot, metric_value, Metric, MetricsSnapshot, METRIC_COUNT,
+};
 pub use prom::{prometheus_name, render_prometheus};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BOUNDS_MS,

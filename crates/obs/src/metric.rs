@@ -216,6 +216,22 @@ pub fn local_snapshot() -> MetricsSnapshot {
     MetricsSnapshot::capture()
 }
 
+/// Charges a whole snapshot delta onto the current thread's counters.
+///
+/// This is how work done on *other* threads stays visible to profile
+/// diffs taken on this one: an executor captures each foreign shard's
+/// delta ([`MetricsSnapshot::diff`] around the shard) and absorbs the
+/// sum here after joining, so `capture().diff(&before)` on the serving
+/// thread still accounts for every engine counter exactly.
+pub fn absorb(delta: &MetricsSnapshot) {
+    for m in Metric::ALL {
+        let n = delta.get(m);
+        if n != 0 {
+            count(m, n);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

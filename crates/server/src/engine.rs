@@ -24,14 +24,13 @@ use std::time::Instant;
 use vqd_budget::{Budget, CancelToken, VqdError};
 use vqd_obs::Registry;
 use vqd_chase::CqViews;
-use vqd_core::certain::{
-    canonical_database_budgeted, certain_from_canonical, certain_sound_budgeted,
-};
+use vqd_core::certain::{canonical_database_budgeted, certain_from_canonical, certain_sound_ctx};
 use vqd_core::determinacy::{
-    check_exhaustive_budgeted, decide_finite_budgeted, decide_unrestricted_budgeted,
-    Counterexample, FiniteVerdict, SemanticVerdict,
+    check_exhaustive_ctx, decide_finite_budgeted, decide_unrestricted_budgeted, Counterexample,
+    FiniteVerdict, SemanticVerdict,
 };
 use vqd_eval::{contained_bounded_budgeted, BoundedContainment};
+use vqd_exec::{ExecCtx, ExecPool};
 use vqd_instance::{DomainNames, Schema};
 use vqd_query::{parse_instance, parse_program, parse_query, Cq, CqLang, QueryExpr, ViewSet};
 use vqd_router::Fragment;
@@ -54,6 +53,10 @@ pub struct EngineCtx {
     pub shutdown: CancelToken,
     /// Whether `debug_panic` is live (worker-containment tests only).
     pub debug_ops: bool,
+    /// The engine's shard pool for intra-request parallelism — distinct
+    /// from the per-request worker pool, shared by every worker. Its
+    /// size caps the `parallelism` any envelope may request.
+    pub exec: Arc<ExecPool>,
 }
 
 impl EngineCtx {
@@ -73,7 +76,15 @@ impl EngineCtx {
             started: Instant::now(),
             shutdown,
             debug_ops: false,
+            exec: Arc::clone(ExecPool::global()),
         }
+    }
+
+    /// Replaces the engine's shard pool (the server wires its
+    /// `--engine-threads` pool through here).
+    pub fn with_engine_pool(mut self, exec: Arc<ExecPool>) -> EngineCtx {
+        self.exec = exec;
+        self
     }
 }
 
@@ -168,28 +179,49 @@ fn attribute(fragment: Option<Fragment>, ctx: &EngineCtx, routed: bool) -> Optio
     Some(fragment.wire_note())
 }
 
-/// Executes one request under `budget`. Never panics on bad input; may
-/// panic only on a genuine engine bug (callers wrap in `catch_unwind`).
+/// Executes one request under `budget`, sequentially. Never panics on
+/// bad input; may panic only on a genuine engine bug (callers wrap in
+/// `catch_unwind`).
 ///
-/// Compatibility wrapper over [`execute_attributed`] that drops the
-/// fragment note; embedded callers and most tests only care about the
-/// outcome.
+/// Deprecated spelling of [`execute_ctx`] with a sequential context;
+/// embedded callers and most tests only care about the outcome.
 pub fn execute(request: &Request, budget: &Budget, ctx: &EngineCtx) -> Outcome {
-    execute_attributed(request, budget, ctx).0
+    execute_ctx(request, &ExecCtx::sequential(budget.clone()), ctx)
 }
 
-/// [`execute`] plus the router's per-request fragment attribution: the
-/// second component is the additive `fragment` wire note
-/// (`project-select` / `path` / `undecidable-in-general`) for the ops
-/// the router classifies, `None` otherwise. The note is attached even
-/// when the outcome is an error or exhaustion — a `general` request
-/// that runs out of budget still tells the client *why* no definite
-/// verdict was possible.
+/// [`execute_attributed_ctx`] without the fragment note.
+pub fn execute_ctx(request: &Request, exec: &ExecCtx, ctx: &EngineCtx) -> Outcome {
+    execute_attributed_ctx(request, exec, ctx).0
+}
+
+/// Deprecated spelling of [`execute_attributed_ctx`] with a sequential
+/// context.
 pub fn execute_attributed(
     request: &Request,
     budget: &Budget,
     ctx: &EngineCtx,
 ) -> (Outcome, Option<&'static str>) {
+    execute_attributed_ctx(request, &ExecCtx::sequential(budget.clone()), ctx)
+}
+
+/// [`execute_ctx`] plus the router's per-request fragment attribution:
+/// the second component is the additive `fragment` wire note
+/// (`project-select` / `path` / `undecidable-in-general`) for the ops
+/// the router classifies, `None` otherwise. The note is attached even
+/// when the outcome is an error or exhaustion — a `general` request
+/// that runs out of budget still tells the client *why* no definite
+/// verdict was possible.
+///
+/// The execution context carries both the request's clamped budget and
+/// its (clamped) parallelism: the certain-answer and semantic-scan ops
+/// fan out on the engine pool when `exec.is_parallel()`, with
+/// byte-identical outcomes either way.
+pub fn execute_attributed_ctx(
+    request: &Request,
+    exec: &ExecCtx,
+    ctx: &EngineCtx,
+) -> (Outcome, Option<&'static str>) {
+    let budget = exec.budget();
     match request {
         Request::Decide { schema, views, query } => {
             let (res, fragment) = run_decide(schema, views, query, budget);
@@ -210,12 +242,13 @@ pub fn execute_attributed(
             (outcome, note)
         }
         Request::Classify { schema, views, query } => run_classify(schema, views, query, ctx),
-        other => (execute_unattributed(other, budget, ctx), None),
+        other => (execute_unattributed(other, exec, ctx), None),
     }
 }
 
 /// The ops the router does not classify.
-fn execute_unattributed(request: &Request, budget: &Budget, ctx: &EngineCtx) -> Outcome {
+fn execute_unattributed(request: &Request, exec: &ExecCtx, ctx: &EngineCtx) -> Outcome {
+    let budget = exec.budget();
     match request {
         Request::Ping => Outcome::Pong,
         Request::Stats => {
@@ -259,10 +292,10 @@ fn execute_unattributed(request: &Request, budget: &Budget, ctx: &EngineCtx) -> 
             unreachable!("attributed ops are handled by execute_attributed")
         }
         Request::Certain { schema, views, query, extent } => {
-            run_certain(schema, views, query, extent, budget)
+            run_certain(schema, views, query, extent, exec)
         }
         Request::CertainHandle { schema, views, query, handle } => {
-            run_certain_handle(schema, views, query, handle, budget, ctx)
+            run_certain_handle(schema, views, query, handle, exec, ctx)
         }
         Request::PutInstance { schema, extent } => run_put_instance(schema, extent, ctx),
         Request::EvictInstance { handle } => Outcome::Evicted {
@@ -306,7 +339,7 @@ fn execute_unattributed(request: &Request, budget: &Budget, ctx: &EngineCtx) -> 
             run_finite(schema, views, query, *max_domain, *space_limit, budget)
         }
         Request::Semantic { schema, views, query, domain, space_limit } => {
-            run_semantic(schema, views, query, *domain, *space_limit, budget)
+            run_semantic(schema, views, query, *domain, *space_limit, exec)
         }
     }
 }
@@ -367,7 +400,7 @@ fn run_classify(
     )
 }
 
-fn run_certain(schema: &str, views: &str, query: &str, extent: &str, budget: &Budget) -> Outcome {
+fn run_certain(schema: &str, views: &str, query: &str, extent: &str, exec: &ExecCtx) -> Outcome {
     let pair = match parse_pair(schema, views, query) {
         Ok(p) => p,
         Err(o) => return o,
@@ -382,7 +415,7 @@ fn run_certain(schema: &str, views: &str, query: &str, extent: &str, budget: &Bu
         Ok(i) => i,
         Err(e) => return err(ErrorKind::Parse, format!("extent: {e}")),
     };
-    match certain_sound_budgeted(&cq_views, &q, &extent, budget) {
+    match certain_sound_ctx(&cq_views, &q, &extent, exec) {
         Ok(rel) => Outcome::CertainAnswers {
             count: rel.len() as u64,
             answers: rel.render(&names),
@@ -437,7 +470,7 @@ fn run_certain_handle(
     views: &str,
     query: &str,
     handle: &str,
-    budget: &Budget,
+    exec: &ExecCtx,
     ctx: &EngineCtx,
 ) -> Outcome {
     let Some(entry) = ctx.cache.get_handle(handle) else {
@@ -462,12 +495,12 @@ fn run_certain_handle(
         };
     let key = derived_key(schema, views, query, &entry.fingerprint);
     let answers = match ctx.cache.get_index(&key) {
-        Some(chased) => certain_from_canonical(&q, &chased, budget),
-        None => match canonical_database_budgeted(&cq_views, &extent, budget) {
+        Some(chased) => certain_from_canonical(&q, &chased, exec),
+        None => match canonical_database_budgeted(&cq_views, &extent, exec) {
             Ok(chased) => {
                 let shared = chased.into_shared();
                 ctx.cache.insert_index(key, Arc::clone(&shared));
-                certain_from_canonical(&q, &shared, budget)
+                certain_from_canonical(&q, &shared, exec)
             }
             Err(e) => return vqd_error(e),
         },
@@ -599,18 +632,18 @@ fn run_semantic(
     query: &str,
     domain: u64,
     space_limit: u64,
-    budget: &Budget,
+    exec: &ExecCtx,
 ) -> Outcome {
     let pair = match parse_pair(schema, views, query) {
         Ok(p) => p,
         Err(o) => return o,
     };
-    match check_exhaustive_budgeted(
+    match check_exhaustive_ctx(
         &pair.views,
         &pair.query,
         domain as usize,
         u128::from(space_limit),
-        budget,
+        exec,
     ) {
         Ok(SemanticVerdict::NoCounterexampleUpTo(n)) => Outcome::SemanticOutcome {
             verdict: "no-counterexample".into(),
@@ -835,6 +868,34 @@ mod tests {
             &c,
         );
         assert_eq!(out, Outcome::Evicted { handle: "h999".into(), existed: false });
+    }
+
+    #[test]
+    fn parallel_context_answers_identically_and_reports_fan_out() {
+        let c = ctx();
+        let req = Request::Certain {
+            schema: "E/2".into(),
+            views: "V(x,y) :- E(x,y).".into(),
+            query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+            extent: "V(A,B). V(B,C). V(C,D).".into(),
+        };
+        let seq = execute(&req, &Budget::unlimited(), &c);
+        let exec = ExecCtx::with_parallelism(Budget::unlimited(), 4);
+        let par = execute_ctx(&req, &exec, &c);
+        assert_eq!(seq, par, "parallel outcomes must be byte-identical");
+        assert_eq!(exec.threads_used(), 4, "the certain eval must fan out");
+        // The semantic scan fans out too, with the same verdict.
+        let sem = Request::Semantic {
+            schema: "E/2".into(),
+            views: "V(x,y) :- E(x,y).".into(),
+            query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+            domain: 2,
+            space_limit: 1 << 20,
+        };
+        let seq = execute(&sem, &Budget::unlimited(), &c);
+        let exec = ExecCtx::with_parallelism(Budget::unlimited(), 2);
+        assert_eq!(seq, execute_ctx(&sem, &exec, &c));
+        assert_eq!(exec.threads_used(), 2);
     }
 
     #[test]

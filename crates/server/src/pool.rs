@@ -30,6 +30,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use vqd_budget::Budget;
+use vqd_exec::ExecCtx;
 use vqd_obs::{FlightDigest, Metric, MetricsSnapshot};
 
 /// Lifecycle stamps taken by the owning event loop before a job reaches
@@ -256,8 +257,13 @@ fn run_job(job: Job, ctx: &EngineCtx) {
     let before = MetricsSnapshot::capture();
     let started = Instant::now();
     let mut panicked = false;
+    // The envelope's requested fan-out, clamped by the engine pool: a
+    // request can never commandeer more shards than the server was
+    // started with, and an absent field stays exactly sequential.
+    let parallelism = (envelope.parallelism.unwrap_or(1) as usize).min(ctx.exec.threads());
+    let exec = ExecCtx::on_pool(budget.clone(), parallelism, Arc::clone(&ctx.exec));
     let (outcome, fragment) = catch_unwind(AssertUnwindSafe(|| {
-        engine::execute_attributed(&envelope.request, &budget, ctx)
+        engine::execute_attributed_ctx(&envelope.request, &exec, ctx)
     }))
     .unwrap_or_else(|panic| {
         let msg = panic
@@ -284,6 +290,7 @@ fn run_job(job: Job, ctx: &EngineCtx) {
     let mut work = WireStats::from(budget.work_done());
     work.index_builds = profile.get(Metric::IndexBuilds);
     work.index_tuples = profile.get(Metric::IndexDeltaTuples);
+    work.threads_used = exec.threads_used();
     // The worker fills the pre-release part of the timeline; the owning
     // event loop stamps reorder-release (and write-drain, off-reply) on
     // the way out.
@@ -489,6 +496,41 @@ mod tests {
         run_job(job, &ctx);
         assert_eq!(rx.recv().expect("reply").outcome, Outcome::Pong);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn requested_parallelism_is_clamped_and_reported() {
+        let ctx = ctx().with_engine_pool(Arc::new(vqd_exec::ExecPool::new(2)));
+        let (tx, rx) = channel();
+        let certain = |parallelism: Option<u64>| {
+            let envelope = Envelope::new(
+                "par",
+                Limits::none(),
+                Request::Certain {
+                    schema: "E/2".into(),
+                    views: "V(x,y) :- E(x,y).".into(),
+                    query: "Q(x,z) :- E(x,y), E(y,z).".into(),
+                    extent: "V(A,B). V(B,C).".into(),
+                },
+            );
+            Job {
+                envelope: match parallelism {
+                    Some(p) => envelope.with_parallelism(p),
+                    None => envelope,
+                },
+                budget: Budget::unlimited(),
+                reply: tx.clone().into(),
+                stamps: None,
+            }
+        };
+        run_job(certain(None), &ctx);
+        run_job(certain(Some(8)), &ctx);
+        let seq = rx.recv().expect("sequential reply");
+        let par = rx.recv().expect("parallel reply");
+        assert_eq!(seq.outcome, par.outcome, "fan-out must not change the answer");
+        assert_eq!(seq.work.threads_used, 0, "absent field stays sequential");
+        assert_eq!(par.work.threads_used, 2, "requested 8, clamped to the pool's 2");
+        assert_eq!(seq.work.steps, par.work.steps, "budget accounting stays exact");
     }
 
     #[test]

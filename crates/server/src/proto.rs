@@ -251,6 +251,12 @@ pub struct Envelope {
     /// request and attach them to the reply as JSONL. Additive like
     /// `profile`: absent on the wire means `false`.
     pub trace: bool,
+    /// Requested intra-request parallelism: how many shards the engine
+    /// may fan a single request out across on the server's engine pool.
+    /// Additive like `profile`: absent on the wire means `None`
+    /// (sequential), and the server clamps the value against its
+    /// `--engine-threads` cap, so it is a request, not a demand.
+    pub parallelism: Option<u64>,
     /// The operation.
     pub request: Request,
 }
@@ -264,6 +270,7 @@ impl Envelope {
             limits,
             profile: false,
             trace: false,
+            parallelism: None,
             request,
         }
     }
@@ -277,6 +284,13 @@ impl Envelope {
     /// Requests a span trace of the execution in the reply.
     pub fn with_trace(mut self, trace: bool) -> Envelope {
         self.trace = trace;
+        self
+    }
+
+    /// Requests `parallelism`-way intra-request fan-out (clamped by the
+    /// server's engine pool).
+    pub fn with_parallelism(mut self, parallelism: u64) -> Envelope {
+        self.parallelism = Some(parallelism);
         self
     }
 }
@@ -294,6 +308,10 @@ pub struct WireStats {
     pub index_builds: u64,
     /// Tuples indexed incrementally (delta maintenance, no rebuild).
     pub index_tuples: u64,
+    /// Widest engine fan-out any phase of the request actually used
+    /// (0 = everything ran sequentially). Additive: encoded only when
+    /// nonzero, absent decodes to 0.
+    pub threads_used: u64,
 }
 
 /// Per-request phase timeline: the additive `timeline` reply section.
@@ -379,6 +397,7 @@ impl From<WorkStats> for WireStats {
             elapsed_ms: w.elapsed.as_millis().min(u128::from(u64::MAX)) as u64,
             index_builds: 0,
             index_tuples: 0,
+            threads_used: 0,
         }
     }
 }
@@ -841,6 +860,9 @@ impl Envelope {
         if self.trace {
             obj.push(("trace".to_owned(), Value::from(true)));
         }
+        if let Some(p) = self.parallelism {
+            obj.push(("parallelism".to_owned(), Value::from(p)));
+        }
         obj.push(("request".to_owned(), Value::Obj(req)));
         Value::Obj(obj)
     }
@@ -870,6 +892,8 @@ impl Envelope {
         };
         let profile = v.get("profile").and_then(Value::as_bool).unwrap_or(false);
         let trace = v.get("trace").and_then(Value::as_bool).unwrap_or(false);
+        // Additive like `profile`/`trace`: absent means sequential.
+        let parallelism = v.get("parallelism").and_then(Value::as_u64);
         let Some(req) = v.get("request") else {
             return fail(ErrorKind::Protocol, "missing `request`");
         };
@@ -968,7 +992,7 @@ impl Envelope {
                 return fail(ErrorKind::Unsupported, &format!("unknown op `{other}`"));
             }
         };
-        Ok(Envelope { version, id, limits, profile, trace, request })
+        Ok(Envelope { version, id, limits, profile, trace, parallelism, request })
     }
 
     /// Parses an envelope from one wire line.
@@ -1143,20 +1167,22 @@ impl Response {
             }
         };
         result.insert(0, ("kind".to_owned(), Value::from(kind)));
+        let mut work: Vec<(String, Value)> = vec![
+            ("steps".to_owned(), Value::from(self.work.steps)),
+            ("tuples".to_owned(), Value::from(self.work.tuples)),
+            ("elapsed_ms".to_owned(), Value::from(self.work.elapsed_ms)),
+            ("index_builds".to_owned(), Value::from(self.work.index_builds)),
+            ("index_tuples".to_owned(), Value::from(self.work.index_tuples)),
+        ];
+        // Additive: only parallel requests carry the fan-out width.
+        if self.work.threads_used != 0 {
+            work.push(("threads_used".to_owned(), Value::from(self.work.threads_used)));
+        }
         let mut obj: Vec<(String, Value)> = vec![
             ("v".to_owned(), Value::from(self.version)),
             ("id".to_owned(), Value::from(self.id.clone())),
             ("status".to_owned(), Value::from(self.outcome.status())),
-            (
-                "work".to_owned(),
-                Value::object([
-                    ("steps", Value::from(self.work.steps)),
-                    ("tuples", Value::from(self.work.tuples)),
-                    ("elapsed_ms", Value::from(self.work.elapsed_ms)),
-                    ("index_builds", Value::from(self.work.index_builds)),
-                    ("index_tuples", Value::from(self.work.index_tuples)),
-                ]),
-            ),
+            ("work".to_owned(), Value::Obj(work)),
         ];
         if let Some(p) = &self.profile {
             obj.push(("profile".to_owned(), p.to_json()));
@@ -1189,6 +1215,7 @@ impl Response {
                 elapsed_ms: w.get("elapsed_ms").and_then(Value::as_u64).unwrap_or(0),
                 index_builds: w.get("index_builds").and_then(Value::as_u64).unwrap_or(0),
                 index_tuples: w.get("index_tuples").and_then(Value::as_u64).unwrap_or(0),
+                threads_used: w.get("threads_used").and_then(Value::as_u64).unwrap_or(0),
             },
             None => WireStats::default(),
         };
@@ -1637,6 +1664,34 @@ mod tests {
     }
 
     #[test]
+    fn absent_parallelism_decodes_as_none_and_round_trips_when_set() {
+        // v1 envelope: no `parallelism` key anywhere.
+        let e = Envelope::from_line(r#"{"v":1,"id":"x","request":{"op":"ping"}}"#).unwrap();
+        assert_eq!(e.parallelism, None);
+        let base = Envelope::new("p", Limits::none(), Request::Ping);
+        assert!(!base.to_json().to_string().contains("parallelism"));
+        round_trip_envelope(base.with_parallelism(4));
+    }
+
+    #[test]
+    fn threads_used_is_additive_on_the_work_envelope() {
+        // Sequential replies encode no `threads_used`; absent decodes 0.
+        let seq = Response::new("s", Outcome::Pong, WireStats::default());
+        assert!(!seq.to_json().to_string().contains("threads_used"));
+        let line = r#"{"v":1,"id":"x","status":"ok",
+            "work":{"steps":5,"tuples":0,"elapsed_ms":1,"index_builds":0,"index_tuples":0},
+            "result":{"kind":"pong"}}"#
+            .replace('\n', "");
+        let back = Response::from_line(&line).unwrap();
+        assert_eq!(back.work.threads_used, 0);
+        // A parallel reply carries it and round-trips.
+        let work = WireStats { steps: 5, threads_used: 8, ..WireStats::default() };
+        let par = Response::new("p", Outcome::Pong, work);
+        assert!(par.to_json().to_string().contains(r#""threads_used":8"#));
+        round_trip_response(par);
+    }
+
+    #[test]
     fn certain_extent_forms_share_one_op() {
         // Inline string extent: the v1 form.
         let inline = Envelope::from_line(
@@ -1679,6 +1734,7 @@ mod tests {
             elapsed_ms: 40,
             index_builds: 2,
             index_tuples: 17,
+            threads_used: 4,
         };
         round_trip_response(Response::new("1", Outcome::Pong, WireStats::default()));
         round_trip_response(Response::new(

@@ -113,6 +113,12 @@ pub struct ServerCaps {
     /// is logged to stderr with its full phase breakdown. `None` (the
     /// default) disables the log.
     pub slow_log_ms: Option<u64>,
+    /// Engine-pool size for intra-request parallelism (`vqd-cli serve
+    /// --engine-threads`). Every envelope's requested `parallelism` is
+    /// clamped to this; the default of 1 keeps every request exactly
+    /// sequential. The pool is distinct from the worker pool: workers
+    /// stay one-job-at-a-time, shards of one job fan out here.
+    pub engine_threads: usize,
 }
 
 impl Default for ServerCaps {
@@ -130,6 +136,7 @@ impl Default for ServerCaps {
             max_writeq_bytes: 1 << 20,
             sock_sndbuf: None,
             slow_log_ms: None,
+            engine_threads: 1,
         }
     }
 }
@@ -374,6 +381,10 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         started: Instant::now(),
         shutdown: shared.shutdown_token(),
         debug_ops: shared.caps.enable_debug_ops,
+        // The server owns its engine pool (sized by --engine-threads)
+        // rather than borrowing the process-global one, so the pool's
+        // thread count *is* the parallelism cap applied per request.
+        exec: Arc::new(vqd_exec::ExecPool::new(shared.caps.engine_threads.max(1))),
     };
     let pool = Pool::new(config.workers, config.queue_depth, ctx);
     let mut handles = Vec::with_capacity(io_threads);

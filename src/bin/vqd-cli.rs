@@ -266,7 +266,7 @@ fn cmd_analyze(argv: &[String]) {
 fn serve_usage() -> ! {
     eprintln!(
         "usage: vqd-cli serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--io-threads N] [--max-conns N] [--max-inflight N] \
+         [--io-threads N] [--engine-threads N] [--max-conns N] [--max-inflight N] \
          [--max-deadline-ms N] [--max-steps N] [--max-tuples N] \
          [--cache-entries N] [--cache-bytes N] [--cache-dir PATH] [--disk-bytes N] \
          [--slow-ms N] [--debug-ops]"
@@ -289,6 +289,7 @@ fn cmd_serve(argv: &[String]) {
             "--max-steps" => caps.max_steps = Some(num_of(&mut it, flag)),
             "--max-tuples" => caps.max_tuples = Some(num_of(&mut it, flag)),
             "--io-threads" => caps.io_threads = num_of(&mut it, flag),
+            "--engine-threads" => caps.engine_threads = num_of(&mut it, flag),
             "--max-conns" => caps.max_conns = num_of(&mut it, flag),
             "--max-inflight" => caps.max_inflight_per_conn = num_of(&mut it, flag),
             "--slow-ms" => caps.slow_log_ms = Some(num_of(&mut it, flag)),
@@ -350,7 +351,8 @@ fn request_usage() -> ! {
          evict_instance|cache_stats|stats|metrics_prom|flight|shutdown> \
          [--schema S] [--views V] [--query Q] [--extent E | --handle H] \
          [--q1 Q] [--q2 Q] [--max-domain N] [--domain N] [--space-limit N] \
-         [--deadline-ms N] [--step-limit N] [--tuple-limit N] [--profile] [--trace]"
+         [--deadline-ms N] [--step-limit N] [--tuple-limit N] [--profile] [--trace] \
+         [--parallelism N]"
     );
     std::process::exit(2)
 }
@@ -371,12 +373,14 @@ fn cmd_request(argv: &[String]) {
     let mut limits = Limits::none();
     let mut profile = false;
     let mut trace = false;
+    let mut parallelism: Option<u64> = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--addr" => addr = value_of(&mut it, flag),
             "--profile" => profile = true,
             "--trace" => trace = true,
+            "--parallelism" => parallelism = Some(num_of(&mut it, flag)),
             "--op" => op = Some(value_of(&mut it, flag)),
             "--schema" => schema = load(&value_of(&mut it, flag)),
             "--views" => views = load(&value_of(&mut it, flag)),
@@ -430,9 +434,12 @@ fn cmd_request(argv: &[String]) {
         eprintln!("cannot connect to {addr}: {e}");
         std::process::exit(1)
     });
-    let envelope = server::Envelope::new("cli", limits, request)
+    let mut envelope = server::Envelope::new("cli", limits, request)
         .with_profile(profile)
         .with_trace(trace);
+    if let Some(p) = parallelism {
+        envelope = envelope.with_parallelism(p);
+    }
     let response = client
         .call_raw(&envelope.to_json().to_string())
         .unwrap_or_else(|e| {
@@ -449,10 +456,15 @@ fn cmd_request(argv: &[String]) {
             tl.frame_us, tl.queue_us, tl.exec_us, tl.reorder_us, tl.write_us
         );
     }
+    let threads = if response.work.threads_used != 0 {
+        format!(", threads_used {}", response.work.threads_used)
+    } else {
+        String::new()
+    };
     println!(
-        "[{} steps, {} tuples, {} index builds, {} ms server-side]",
+        "[{} steps, {} tuples, {} index builds, {} ms server-side{}]",
         response.work.steps, response.work.tuples, response.work.index_builds,
-        response.work.elapsed_ms
+        response.work.elapsed_ms, threads
     );
     if let Some(p) = &response.profile {
         println!("--- execution profile (engine counter deltas) ---");

@@ -19,6 +19,9 @@
 //!   cancellation, and fault injection for every long-running engine;
 //! * [`vqd_obs`] — observability: engine counters, a metrics registry,
 //!   and span tracing shared by every engine and the server;
+//! * [`vqd_exec`] — the work-sharing executor behind intra-request
+//!   parallelism: shard pools plus the `ExecCtx` every `*_ctx` engine
+//!   entry point takes;
 //! * [`vqd_server`] — the budget-governed TCP service exposing the
 //!   paper's effective procedures, plus its wire protocol and client.
 
@@ -27,6 +30,7 @@ pub use vqd_chase as chase;
 pub use vqd_core as core;
 pub use vqd_datalog as datalog;
 pub use vqd_eval as eval;
+pub use vqd_exec as exec;
 pub use vqd_instance as instance;
 pub use vqd_monoid as monoid;
 pub use vqd_obs as obs;
